@@ -1,0 +1,162 @@
+//! Rayleigh block-fading MIMO channel with AWGN.
+
+use rand::Rng;
+
+use crate::cplx::Cplx;
+
+/// Draws a standard complex Gaussian (unit variance) via Box–Muller.
+pub fn randn_c(rng: &mut impl Rng) -> Cplx {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    // Each component has variance 1/2 so |z|² has mean 1.
+    Cplx::new(r * theta.cos(), r * theta.sin()).scale((0.5f64).sqrt())
+}
+
+/// A MIMO channel: `rx_antennas × tx_streams` complex gains, constant for
+/// a block (frame), plus per-sample AWGN at a configured SNR.
+#[derive(Debug, Clone)]
+pub struct MimoChannel {
+    /// Row-major channel matrix `H`, `rx × tx`.
+    pub h: Vec<Cplx>,
+    /// Receive antennas.
+    pub rx: usize,
+    /// Transmit streams.
+    pub tx: usize,
+    noise_std: f64,
+}
+
+impl MimoChannel {
+    /// Draws a block-fading channel with the given SNR in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rx < tx` (ZF needs at least as many receive antennas)
+    /// or either dimension is zero.
+    pub fn rayleigh(rx: usize, tx: usize, snr_db: f64, rng: &mut impl Rng) -> Self {
+        assert!(tx > 0 && rx >= tx, "need rx >= tx > 0");
+        let h = (0..rx * tx).map(|_| randn_c(rng)).collect();
+        let snr = 10f64.powf(snr_db / 10.0);
+        // Unit-power symbols per stream; noise per receive antenna.
+        let noise_std = (tx as f64 / snr).sqrt();
+        MimoChannel {
+            h,
+            rx,
+            tx,
+            noise_std,
+        }
+    }
+
+    /// An identity (noiseless, unit-gain) channel for tests.
+    pub fn identity(n: usize) -> Self {
+        let mut h = vec![Cplx::ZERO; n * n];
+        for i in 0..n {
+            h[i * n + i] = Cplx::ONE;
+        }
+        MimoChannel {
+            h,
+            rx: n,
+            tx: n,
+            noise_std: 0.0,
+        }
+    }
+
+    /// Applies the channel to one vector of `tx` symbols, producing `rx`
+    /// observations: `y = Hx + n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != tx`.
+    pub fn apply(&self, x: &[Cplx], rng: &mut impl Rng) -> Vec<Cplx> {
+        assert_eq!(x.len(), self.tx, "stream count mismatch");
+        (0..self.rx)
+            .map(|r| {
+                let mut acc = Cplx::ZERO;
+                for (t, &xt) in x.iter().enumerate() {
+                    acc += self.h[r * self.tx + t] * xt;
+                }
+                if self.noise_std > 0.0 {
+                    acc += randn_c(rng).scale(self.noise_std);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// The channel-state-information matrix (what the paper's case study
+    /// calls the "channel state information matrix" data object).
+    pub fn csi(&self) -> &[Cplx] {
+        &self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn randn_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mut mean = Cplx::ZERO;
+        let mut power = 0.0;
+        for _ in 0..n {
+            let z = randn_c(&mut rng);
+            mean += z;
+            power += z.norm_sq();
+        }
+        mean = mean.scale(1.0 / n as f64);
+        power /= n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean:?}");
+        assert!((power - 1.0).abs() < 0.03, "power {power}");
+    }
+
+    #[test]
+    fn identity_channel_is_transparent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ch = MimoChannel::identity(4);
+        let x = vec![
+            Cplx::new(1.0, 0.0),
+            Cplx::new(0.0, 1.0),
+            Cplx::new(-1.0, 0.0),
+            Cplx::new(0.5, 0.5),
+        ];
+        let y = ch.apply(&x, &mut rng);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snr_controls_noise_power() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let measure = |snr_db: f64, rng: &mut StdRng| -> f64 {
+            let ch = MimoChannel::rayleigh(2, 2, snr_db, rng);
+            let x = vec![Cplx::ZERO; 2]; // zero signal → output is noise.
+            let mut p = 0.0;
+            let n = 5000;
+            for _ in 0..n {
+                for y in ch.apply(&x, rng) {
+                    p += y.norm_sq();
+                }
+            }
+            p / (2 * n) as f64
+        };
+        let loud = measure(0.0, &mut rng);
+        let quiet = measure(20.0, &mut rng);
+        // 20 dB → 100x less noise power.
+        let ratio = loud / quiet;
+        assert!(ratio > 60.0 && ratio < 160.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rx >= tx")]
+    fn undetermined_system_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = MimoChannel::rayleigh(2, 4, 10.0, &mut rng);
+    }
+}

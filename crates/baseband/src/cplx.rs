@@ -1,0 +1,178 @@
+//! Complex arithmetic for the DSP kernels.
+
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number (f64 components).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// Zero.
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Cplx = Cplx { re: 1.0, im: 0.0 };
+
+    /// Creates `re + im·i`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cplx { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Cplx {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on division by zero magnitude.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let n = self.norm_sq();
+        debug_assert!(n > 0.0, "inverse of zero");
+        Cplx {
+            re: self.re / n,
+            im: -self.im / n,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Cplx {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+
+    #[inline]
+    fn add(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Cplx {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cplx) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+
+    #[inline]
+    fn sub(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+
+    #[inline]
+    fn mul(self, rhs: Cplx) -> Cplx {
+        Cplx::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Cplx {
+    type Output = Cplx;
+
+    // Division via the multiplicative inverse is intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Cplx) -> Cplx {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+
+    #[inline]
+    fn neg(self) -> Cplx {
+        Cplx::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Cplx, b: Cplx) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_ops() {
+        let a = Cplx::new(1.0, 2.0);
+        let b = Cplx::new(3.0, -1.0);
+        assert!(close(a + b, Cplx::new(4.0, 1.0)));
+        assert!(close(a - b, Cplx::new(-2.0, 3.0)));
+        assert!(close(a * b, Cplx::new(5.0, 5.0)));
+        assert!(close((a / b) * b, a));
+        assert!(close(-a + a, Cplx::ZERO));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Cplx::new(3.0, 4.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), Cplx::new(25.0, 0.0)));
+    }
+
+    #[test]
+    fn polar_unit_circle() {
+        let q = Cplx::from_polar(1.0, std::f64::consts::FRAC_PI_2);
+        assert!(close(q, Cplx::new(0.0, 1.0)));
+        let full = Cplx::from_polar(2.0, std::f64::consts::TAU);
+        assert!(close(full, Cplx::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn inverse() {
+        let a = Cplx::new(0.5, -0.25);
+        assert!(close(a * a.inv(), Cplx::ONE));
+    }
+}

@@ -1,0 +1,256 @@
+//! The downlink pipeline: MAC bits in, time samples out.
+//!
+//! The transmit-side counterpart of [`crate::pipeline::UplinkPipeline`]:
+//! encode (rate-1/2 K=7), modulate, precode across spatial streams, and
+//! IFFT into per-antenna time samples. "It encompasses multiple
+//! uplink/downlink handling pipelines" (§5) — the downlink's kernels
+//! (encode, modulation, IFFT, precoding) are the computational mirror of
+//! the uplink's, with data flowing MAC → radio.
+
+use fcc_core::task::{Half, TaskId, TaskSpec};
+use fcc_proto::addr::AddrRange;
+use fcc_sim::SimTime;
+
+use crate::coding::ConvCode;
+use crate::cplx::Cplx;
+use crate::fft::ifft_inplace;
+use crate::modulation::Modulation;
+
+/// Downlink pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DownlinkPipeline {
+    /// OFDM size (power of two).
+    pub fft_size: usize,
+    /// Transmit antennas (one stream per antenna in this simple precoder).
+    pub antennas: usize,
+    /// Constellation.
+    pub modulation: Modulation,
+    /// OFDM symbols per frame.
+    pub symbols_per_frame: usize,
+}
+
+impl Default for DownlinkPipeline {
+    fn default() -> Self {
+        DownlinkPipeline {
+            fft_size: 64,
+            antennas: 2,
+            modulation: Modulation::Qam16,
+            symbols_per_frame: 4,
+        }
+    }
+}
+
+/// A downlink frame ready for the radios.
+pub struct DownlinkFrame {
+    /// `samples[symbol][antenna][sample]` time-domain output.
+    pub samples: Vec<Vec<Vec<Cplx>>>,
+    /// The coded bits per antenna (for loopback verification).
+    pub coded: Vec<Vec<u8>>,
+}
+
+impl DownlinkPipeline {
+    /// Information bits per antenna per frame.
+    pub fn payload_bits_per_antenna(&self) -> usize {
+        let coded = self.fft_size * self.modulation.bits_per_symbol() * self.symbols_per_frame;
+        coded / 2 - 6
+    }
+
+    /// Builds a frame from MAC bits (one slice per antenna).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of bit streams does not match the antenna
+    /// count or a stream exceeds the per-frame payload.
+    pub fn transmit(&self, mac_bits: &[Vec<u8>]) -> DownlinkFrame {
+        assert_eq!(mac_bits.len(), self.antennas, "one stream per antenna");
+        let code = ConvCode::new();
+        let capacity = self.payload_bits_per_antenna();
+        let coded: Vec<Vec<u8>> = mac_bits
+            .iter()
+            .map(|bits| {
+                assert!(bits.len() <= capacity, "payload exceeds frame capacity");
+                let mut padded = bits.clone();
+                padded.resize(capacity, 0);
+                code.encode(&padded)
+            })
+            .collect();
+        let symbols: Vec<Vec<Cplx>> = coded
+            .iter()
+            .map(|c| self.modulation.map_stream(c))
+            .collect();
+        let mut samples = Vec::with_capacity(self.symbols_per_frame);
+        for sym in 0..self.symbols_per_frame {
+            let mut antenna_time = Vec::with_capacity(self.antennas);
+            for ant_syms in &symbols {
+                let mut grid: Vec<Cplx> = (0..self.fft_size)
+                    .map(|k| {
+                        ant_syms
+                            .get(sym * self.fft_size + k)
+                            .copied()
+                            .unwrap_or(Cplx::ZERO)
+                    })
+                    .collect();
+                ifft_inplace(&mut grid);
+                antenna_time.push(grid);
+            }
+            samples.push(antenna_time);
+        }
+        DownlinkFrame { samples, coded }
+    }
+
+    /// Loopback check: demodulate + decode the time samples back to bits
+    /// (no channel), returning the recovered MAC bits per antenna.
+    pub fn loopback(&self, frame: &DownlinkFrame) -> Vec<Vec<u8>> {
+        let code = ConvCode::new();
+        let mut per_antenna: Vec<Vec<u8>> = vec![Vec::new(); self.antennas];
+        for antenna_time in &frame.samples {
+            for (a, time) in antenna_time.iter().enumerate() {
+                let mut freq = time.clone();
+                crate::fft::fft_inplace(&mut freq);
+                for &s in freq.iter() {
+                    per_antenna[a].extend(self.modulation.demap(s));
+                }
+            }
+        }
+        per_antenna
+            .iter()
+            .map(|c| {
+                let want = (self.payload_bits_per_antenna() + 6) * 2;
+                code.decode(&c[..want.min(c.len())])
+            })
+            .collect()
+    }
+
+    /// The downlink's UniFabric task graph: per-antenna encode+modulate
+    /// tasks feeding per-symbol IFFT tasks.
+    pub fn build_tasks(
+        &self,
+        bits_base: u64,
+        out_base: u64,
+        kernel_cost: SimTime,
+    ) -> Vec<TaskSpec> {
+        let mut tasks = Vec::new();
+        let cost = |samples: usize| SimTime::from_ns(kernel_cost.as_ns() * samples as f64 / 1000.0);
+        let mut next_id = 0u32;
+        let mut id = || {
+            next_id += 1;
+            next_id - 1
+        };
+        let coded_bytes =
+            (self.fft_size * self.modulation.bits_per_symbol() * self.symbols_per_frame / 8) as u64;
+        let mut encode_ids = Vec::new();
+        for a in 0..self.antennas {
+            let enc = id();
+            tasks.push(TaskSpec {
+                id: TaskId(enc),
+                reads: vec![AddrRange::new(bits_base + a as u64 * 8192, 8192)],
+                writes: vec![AddrRange::new(
+                    out_base + a as u64 * coded_bytes,
+                    coded_bytes,
+                )],
+                compute: cost(self.fft_size * self.symbols_per_frame * 4),
+                deps: vec![],
+                half: Half::Bottom,
+            });
+            encode_ids.push(enc);
+        }
+        let sym_bytes = self.fft_size as u64 * 16 * self.antennas as u64;
+        for sym in 0..self.symbols_per_frame {
+            let ifft = id();
+            tasks.push(TaskSpec {
+                id: TaskId(ifft),
+                reads: encode_ids
+                    .iter()
+                    .enumerate()
+                    .map(|(a, _)| AddrRange::new(out_base + a as u64 * coded_bytes, coded_bytes))
+                    .collect(),
+                writes: vec![AddrRange::new(
+                    out_base + (16 << 10) + sym as u64 * sym_bytes,
+                    sym_bytes,
+                )],
+                compute: cost(self.fft_size * self.antennas),
+                deps: encode_ids.iter().map(|&e| TaskId(e)).collect(),
+                half: Half::Bottom,
+            });
+        }
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use fcc_core::task::analyze_idempotence;
+
+    use super::*;
+
+    #[test]
+    fn transmit_loopback_recovers_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = DownlinkPipeline::default();
+        let bits: Vec<Vec<u8>> = (0..p.antennas)
+            .map(|_| {
+                (0..p.payload_bits_per_antenna())
+                    .map(|_| rng.gen_range(0..2))
+                    .collect()
+            })
+            .collect();
+        let frame = p.transmit(&bits);
+        let back = p.loopback(&frame);
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn short_payloads_are_padded() {
+        let p = DownlinkPipeline::default();
+        let bits = vec![vec![1, 0, 1], vec![0, 1, 1]];
+        let frame = p.transmit(&bits);
+        let back = p.loopback(&frame);
+        assert_eq!(&back[0][..3], &[1, 0, 1]);
+        assert!(back[0][3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream per antenna")]
+    fn stream_count_must_match() {
+        let p = DownlinkPipeline::default();
+        p.transmit(&[vec![1]]);
+    }
+
+    #[test]
+    fn downlink_task_graph_is_idempotent() {
+        let p = DownlinkPipeline::default();
+        let tasks = p.build_tasks(0x1000_0000, 0x2000_0000, SimTime::from_us(1.0));
+        assert_eq!(tasks.len(), p.antennas + p.symbols_per_frame);
+        for t in &tasks {
+            assert!(analyze_idempotence(t).is_idempotent());
+        }
+        // IFFT tasks depend on all encodes.
+        let ifft = tasks.last().expect("non-empty");
+        assert_eq!(ifft.deps.len(), p.antennas);
+    }
+
+    #[test]
+    fn sample_energy_is_nonzero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = DownlinkPipeline::default();
+        let bits: Vec<Vec<u8>> = (0..p.antennas)
+            .map(|_| {
+                (0..p.payload_bits_per_antenna())
+                    .map(|_| rng.gen_range(0..2))
+                    .collect()
+            })
+            .collect();
+        let frame = p.transmit(&bits);
+        let energy: f64 = frame
+            .samples
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|s| s.norm_sq())
+            .sum();
+        assert!(energy > 0.0);
+    }
+}

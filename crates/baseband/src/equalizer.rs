@@ -1,0 +1,177 @@
+//! Zero-forcing MIMO equalization.
+//!
+//! Solves the least-squares problem `min ‖y − Hx‖²` via the normal
+//! equations `(HᴴH) x = Hᴴy`, using complex Gaussian elimination with
+//! partial pivoting. For square well-conditioned `H` this inverts the
+//! channel exactly (zero-forcing).
+
+use crate::cplx::Cplx;
+
+/// Solves `A x = b` for complex `A` (n×n, row-major), in place.
+///
+/// Returns `None` if `A` is singular to working precision.
+pub fn solve(a: &mut [Cplx], b: &mut [Cplx], n: usize) -> Option<Vec<Cplx>> {
+    assert_eq!(a.len(), n * n, "matrix shape");
+    assert_eq!(b.len(), n, "rhs shape");
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&a[r2 * n + col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty range");
+        if a[pivot_row * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / pivot;
+            for k in col..n {
+                let v = a[col * n + k];
+                a[row * n + k] = a[row * n + k] - factor * v;
+            }
+            let bv = b[col];
+            b[row] = b[row] - factor * bv;
+        }
+    }
+    // Back substitution.
+    let mut x = vec![Cplx::ZERO; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc = acc - a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Some(x)
+}
+
+/// Zero-forcing equalization: recovers the `tx` transmitted symbols from
+/// `rx` observations given the CSI matrix `h` (row-major, rx×tx).
+///
+/// Returns `None` when the channel is singular.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn zf_equalize(h: &[Cplx], y: &[Cplx], rx: usize, tx: usize) -> Option<Vec<Cplx>> {
+    assert_eq!(h.len(), rx * tx, "CSI shape");
+    assert_eq!(y.len(), rx, "observation shape");
+    assert!(rx >= tx, "underdetermined");
+    // Normal equations: (HᴴH) x = Hᴴ y.
+    let mut a = vec![Cplx::ZERO; tx * tx];
+    for i in 0..tx {
+        for j in 0..tx {
+            let mut acc = Cplx::ZERO;
+            for r in 0..rx {
+                acc += h[r * tx + i].conj() * h[r * tx + j];
+            }
+            a[i * tx + j] = acc;
+        }
+    }
+    let mut b = vec![Cplx::ZERO; tx];
+    for (i, bi) in b.iter_mut().enumerate() {
+        let mut acc = Cplx::ZERO;
+        for r in 0..rx {
+            acc += h[r * tx + i].conj() * y[r];
+        }
+        *bi = acc;
+    }
+    solve(&mut a, &mut b, tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::channel::{randn_c, MimoChannel};
+
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // [1 i; 0 2] x = [1+i, 4i] → x = [1, 2i]... verify by construction.
+        let x_true = vec![Cplx::new(1.0, 0.0), Cplx::new(0.0, 2.0)];
+        let a_orig = vec![
+            Cplx::new(1.0, 0.0),
+            Cplx::new(0.0, 1.0),
+            Cplx::new(0.0, 0.0),
+            Cplx::new(2.0, 0.0),
+        ];
+        let mut b = vec![
+            a_orig[0] * x_true[0] + a_orig[1] * x_true[1],
+            a_orig[2] * x_true[0] + a_orig[3] * x_true[1],
+        ];
+        let mut a = a_orig.clone();
+        let x = solve(&mut a, &mut b, 2).expect("non-singular");
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((*got - *want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_reported() {
+        let mut a = vec![
+            Cplx::new(1.0, 0.0),
+            Cplx::new(2.0, 0.0),
+            Cplx::new(2.0, 0.0),
+            Cplx::new(4.0, 0.0),
+        ];
+        let mut b = vec![Cplx::ONE, Cplx::ONE];
+        assert!(solve(&mut a, &mut b, 2).is_none());
+    }
+
+    #[test]
+    fn zf_recovers_noiseless_transmission() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let ch = MimoChannel::rayleigh(4, 4, 200.0, &mut rng);
+            let x: Vec<Cplx> = (0..4).map(|_| randn_c(&mut rng)).collect();
+            let y = ch.apply(&x, &mut rng);
+            let xhat = zf_equalize(ch.csi(), &y, 4, 4).expect("well-conditioned");
+            for (got, want) in xhat.iter().zip(&x) {
+                assert!(
+                    (*got - *want).abs() < 1e-6,
+                    "trial {trial}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zf_with_more_antennas_is_least_squares() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let ch = MimoChannel::rayleigh(8, 2, 200.0, &mut rng);
+        let x: Vec<Cplx> = (0..2).map(|_| randn_c(&mut rng)).collect();
+        let y = ch.apply(&x, &mut rng);
+        let xhat = zf_equalize(ch.csi(), &y, 8, 2).expect("full rank");
+        for (got, want) in xhat.iter().zip(&x) {
+            assert!((*got - *want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // First pivot is zero; partial pivoting must recover.
+        let mut a = vec![
+            Cplx::ZERO,
+            Cplx::new(1.0, 0.0),
+            Cplx::new(1.0, 0.0),
+            Cplx::ZERO,
+        ];
+        let mut b = vec![Cplx::new(3.0, 0.0), Cplx::new(5.0, 0.0)];
+        let x = solve(&mut a, &mut b, 2).expect("permutation matrix");
+        assert!((x[0] - Cplx::new(5.0, 0.0)).abs() < 1e-12);
+        assert!((x[1] - Cplx::new(3.0, 0.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Iterative radix-2 decimation-in-time FFT/IFFT.
+
+use crate::cplx::Cplx;
+
+/// In-place FFT of a power-of-two-length buffer.
+///
+/// # Examples
+///
+/// ```
+/// use fcc_baseband::cplx::Cplx;
+/// use fcc_baseband::fft::{fft_inplace, ifft_inplace};
+///
+/// let mut data = vec![Cplx::new(1.0, 0.0); 8];
+/// fft_inplace(&mut data);
+/// // A constant signal concentrates in bin 0.
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// assert!(data[1].abs() < 1e-12);
+/// ifft_inplace(&mut data);
+/// assert!((data[3].re - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+pub fn fft_inplace(data: &mut [Cplx]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT (normalized by `1/N`).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+pub fn ifft_inplace(data: &mut [Cplx]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(1.0 / n);
+    }
+}
+
+fn transform(data: &mut [Cplx], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two() && n > 0, "FFT length must be 2^k");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Cplx::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cplx::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Reference O(n²) DFT, for testing.
+pub fn dft_naive(data: &[Cplx]) -> Vec<Cplx> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cplx::ZERO;
+            for (t, &x) in data.iter().enumerate() {
+                let ang = -std::f64::consts::TAU * (k * t) as f64 / n as f64;
+                acc += x * Cplx::from_polar(1.0, ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn close(a: Cplx, b: Cplx) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let data: Vec<Cplx> = (0..16)
+            .map(|i| Cplx::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut fast = data.clone();
+        fft_inplace(&mut fast);
+        let slow = dft_naive(&data);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(close(*a, *b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Cplx::ZERO; 8];
+        data[0] = Cplx::ONE;
+        fft_inplace(&mut data);
+        for v in &data {
+            assert!(close(*v, Cplx::ONE));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let mut data: Vec<Cplx> = (0..n)
+            .map(|t| Cplx::from_polar(1.0, std::f64::consts::TAU * (k * t) as f64 / n as f64))
+            .collect();
+        fft_inplace(&mut data);
+        for (bin, v) in data.iter().enumerate() {
+            if bin == k {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leak in bin {bin}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Cplx::ZERO; 12];
+        fft_inplace(&mut data);
+    }
+
+    proptest! {
+        #[test]
+        fn fft_ifft_round_trips(values in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..5)) {
+            // Pad to 64 for a fixed power-of-two length.
+            let mut data = vec![Cplx::ZERO; 64];
+            for (i, (re, im)) in values.iter().enumerate() {
+                data[i] = Cplx::new(*re, *im);
+            }
+            let original = data.clone();
+            fft_inplace(&mut data);
+            ifft_inplace(&mut data);
+            for (a, b) in data.iter().zip(&original) {
+                prop_assert!((*a - *b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn parseval_energy_conserved(seed_vals in prop::collection::vec(-1.0f64..1.0, 32)) {
+            let data: Vec<Cplx> = seed_vals
+                .chunks(2)
+                .map(|c| Cplx::new(c[0], *c.get(1).unwrap_or(&0.0)))
+                .collect();
+            let mut padded = vec![Cplx::ZERO; 16];
+            padded[..data.len().min(16)].copy_from_slice(&data[..data.len().min(16)]);
+            let time_energy: f64 = padded.iter().map(|v| v.norm_sq()).sum();
+            let mut freq = padded.clone();
+            fft_inplace(&mut freq);
+            let freq_energy: f64 = freq.iter().map(|v| v.norm_sq()).sum();
+            prop_assert!((freq_energy / 16.0 - time_energy).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! The §5 case study: a software MIMO baseband processing engine.
+//!
+//! "The engine resides between radios and the MAC, converting time-domain
+//! samples received from radios to bits used by the MAC and vice versa. It
+//! encompasses multiple uplink/downlink handling pipelines, further
+//! including a series of computing kernels, such as FFT/IFFT,
+//! equalization, (de)modulation, and encoding/decoding" (§5, after
+//! Agora \[42\]). Every kernel here is a real implementation — the pipeline
+//! computes actual bits — so porting it onto UniFabric exercises genuine
+//! data objects (symbol frames, CSI matrices) and genuine compute.
+//!
+//! * [`cplx`] — complex arithmetic.
+//! * [`fft`] — iterative radix-2 FFT/IFFT.
+//! * [`modulation`] — QPSK / 16-QAM / 64-QAM mapping and hard demapping.
+//! * [`channel`] — Rayleigh block-fading MIMO channel with AWGN.
+//! * [`equalizer`] — zero-forcing MIMO equalization (complex solver).
+//! * [`coding`] — rate-1/2 K=7 convolutional code with Viterbi decoding.
+//! * [`pipeline`] — the uplink pipeline: frame in, bits out, plus its
+//!   decomposition into UniFabric idempotent tasks for experiment E8.
+
+pub mod channel;
+pub mod coding;
+pub mod cplx;
+pub mod downlink;
+pub mod equalizer;
+pub mod fft;
+pub mod modulation;
+pub mod pipeline;
+
+pub use channel::MimoChannel;
+pub use coding::ConvCode;
+pub use cplx::Cplx;
+pub use downlink::{DownlinkFrame, DownlinkPipeline};
+pub use equalizer::zf_equalize;
+pub use fft::{fft_inplace, ifft_inplace};
+pub use modulation::Modulation;
+pub use pipeline::{PipelineReport, UplinkFrame, UplinkPipeline};

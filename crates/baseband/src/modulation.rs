@@ -1,0 +1,207 @@
+//! Digital modulation: QPSK, 16-QAM, 64-QAM with Gray mapping.
+
+use crate::cplx::Cplx;
+
+/// Supported constellations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modulation {
+    /// 2 bits/symbol.
+    Qpsk,
+    /// 4 bits/symbol.
+    Qam16,
+    /// 6 bits/symbol.
+    Qam64,
+}
+
+impl Modulation {
+    /// Bits per symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    fn levels(self) -> &'static [f64] {
+        match self {
+            Modulation::Qpsk => &[-1.0, 1.0],
+            Modulation::Qam16 => &[-3.0, -1.0, 1.0, 3.0],
+            Modulation::Qam64 => &[-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0],
+        }
+    }
+
+    /// Average-power normalization factor.
+    fn norm(self) -> f64 {
+        match self {
+            Modulation::Qpsk => (2.0f64).sqrt().recip(),
+            Modulation::Qam16 => (10.0f64).sqrt().recip(),
+            Modulation::Qam64 => (42.0f64).sqrt().recip(),
+        }
+    }
+
+    /// Gray-encodes `bits_per_axis` bits into an amplitude-level index.
+    fn gray_to_level(bits: u32, n_bits: usize) -> usize {
+        // Gray decode: binary = gray ^ (gray >> 1) ^ (gray >> 2) ...
+        let mut b = bits;
+        let mut shift = 1;
+        while shift < n_bits as u32 {
+            b ^= b >> shift;
+            shift <<= 1;
+        }
+        b as usize
+    }
+
+    fn level_to_gray(level: usize) -> u32 {
+        let b = level as u32;
+        b ^ (b >> 1)
+    }
+
+    /// Maps a bit slice onto one symbol (MSB first; I bits then Q bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != bits_per_symbol()`.
+    pub fn map(self, bits: &[u8]) -> Cplx {
+        let per = self.bits_per_symbol();
+        assert_eq!(bits.len(), per, "need exactly {per} bits");
+        let half = per / 2;
+        let to_val = |chunk: &[u8]| -> u32 {
+            chunk
+                .iter()
+                .fold(0u32, |acc, &b| (acc << 1) | (b & 1) as u32)
+        };
+        let levels = self.levels();
+        let i_level = Self::gray_to_level(to_val(&bits[..half]), half);
+        let q_level = Self::gray_to_level(to_val(&bits[half..]), half);
+        Cplx::new(levels[i_level], levels[q_level]).scale(self.norm())
+    }
+
+    /// Hard-decision demapping of one symbol back to bits.
+    pub fn demap(self, symbol: Cplx) -> Vec<u8> {
+        let per = self.bits_per_symbol();
+        let half = per / 2;
+        let levels = self.levels();
+        let unscaled = symbol.scale(1.0 / self.norm());
+        let nearest = |v: f64| -> usize {
+            levels
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (v - **a)
+                        .abs()
+                        .partial_cmp(&(v - **b).abs())
+                        .expect("finite")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty levels")
+        };
+        let i_gray = Self::level_to_gray(nearest(unscaled.re));
+        let q_gray = Self::level_to_gray(nearest(unscaled.im));
+        let mut out = Vec::with_capacity(per);
+        for k in (0..half).rev() {
+            out.push(((i_gray >> k) & 1) as u8);
+        }
+        for k in (0..half).rev() {
+            out.push(((q_gray >> k) & 1) as u8);
+        }
+        out
+    }
+
+    /// Maps a bit stream to symbols (stream length must be a multiple of
+    /// bits-per-symbol; the tail is zero-padded).
+    pub fn map_stream(self, bits: &[u8]) -> Vec<Cplx> {
+        let per = self.bits_per_symbol();
+        bits.chunks(per)
+            .map(|chunk| {
+                if chunk.len() == per {
+                    self.map(chunk)
+                } else {
+                    let mut padded = chunk.to_vec();
+                    padded.resize(per, 0);
+                    self.map(&padded)
+                }
+            })
+            .collect()
+    }
+
+    /// Demaps a symbol stream to bits.
+    pub fn demap_stream(self, symbols: &[Cplx]) -> Vec<u8> {
+        symbols.iter().flat_map(|&s| self.demap(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    #[test]
+    fn qpsk_constellation_points() {
+        let s = Modulation::Qpsk.map(&[0, 0]);
+        let r = (2.0f64).sqrt().recip();
+        assert!((s.re + r).abs() < 1e-12 && (s.im + r).abs() < 1e-12);
+        assert!((Modulation::Qpsk.map(&[1, 1]).re - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power_is_unity() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let per = m.bits_per_symbol();
+            let count = 1usize << per;
+            let mut power = 0.0;
+            for v in 0..count {
+                let bits: Vec<u8> = (0..per).rev().map(|k| ((v >> k) & 1) as u8).collect();
+                power += m.map(&bits).norm_sq();
+            }
+            let avg = power / count as f64;
+            assert!((avg - 1.0).abs() < 1e-12, "{m:?} avg power {avg}");
+        }
+    }
+
+    #[test]
+    fn all_symbols_round_trip() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let per = m.bits_per_symbol();
+            for v in 0..(1usize << per) {
+                let bits: Vec<u8> = (0..per).rev().map(|k| ((v >> k) & 1) as u8).collect();
+                let sym = m.map(&bits);
+                assert_eq!(m.demap(sym), bits, "{m:?} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gray_neighbors_differ_by_one_bit() {
+        // Adjacent 16-QAM I-levels must differ in exactly one bit.
+        for lvl in 0..3usize {
+            let a = Modulation::level_to_gray(lvl);
+            let b = Modulation::level_to_gray(lvl + 1);
+            assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn small_noise_does_not_flip_bits() {
+        let m = Modulation::Qam16;
+        let bits = [1, 0, 1, 1];
+        let sym = m.map(&bits) + Cplx::new(0.05, -0.05);
+        assert_eq!(m.demap(sym), bits.to_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn streams_round_trip(bits in prop::collection::vec(0u8..2, 0..120)) {
+            for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+                let per = m.bits_per_symbol();
+                let symbols = m.map_stream(&bits);
+                let out = m.demap_stream(&symbols);
+                // Output is the input zero-padded to a symbol boundary.
+                prop_assert_eq!(&out[..bits.len()], &bits[..]);
+                prop_assert!(out.len() - bits.len() < per);
+                prop_assert!(out[bits.len()..].iter().all(|&b| b == 0));
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the fabric simulator itself: protocol state
+//! machines and end-to-end event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use fcc_bench::calib;
+use fcc_bench::loadgen::{AddrPattern, LoadCfg, LoadGen, StartLoad};
+use fcc_fabric::topology::{self, FAM_BASE};
+use fcc_proto::addr::NodeId;
+use fcc_proto::channel::{MemOpcode, Transaction, TransactionKind};
+use fcc_proto::flit::{FlitMode, FlitPayload};
+use fcc_proto::link::{CreditConfig, LinkLayer, RxAction};
+use fcc_sim::{Engine, SimTime};
+
+fn bench_link_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_layer");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("send_receive_release", |b| {
+        let cfg = CreditConfig {
+            buffer_flits: 1 << 16,
+            overcommit: 1.0,
+            return_threshold: 4,
+            retry_depth: 1 << 16,
+        };
+        let mut tx = LinkLayer::symmetric(FlitMode::Flit68, cfg);
+        let mut rx = LinkLayer::symmetric(FlitMode::Flit68, cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            let payload = FlitPayload::Transaction(Transaction {
+                id: i,
+                kind: TransactionKind::Mem(MemOpcode::MemRd),
+                addr: i * 64,
+                bytes: 0,
+                src: NodeId(0),
+                dst: NodeId(1),
+            });
+            i += 1;
+            let flit = tx.send(payload).expect("credit");
+            match rx.receive(flit) {
+                RxAction::Deliver(p) => {
+                    rx.release(p.msg_class());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            if let Some(update) = rx.take_credit_update() {
+                let f = rx.send(update).expect("ctrl");
+                tx.receive(f);
+            }
+            if let Some(ack) = rx.take_ack() {
+                let f = rx.send(ack).expect("ctrl");
+                tx.receive(f);
+            }
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end: how many simulated fabric operations per wall-clock second
+/// the DES sustains (1000 remote reads through FHA → switch → FAM).
+fn bench_fabric_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("1000_remote_reads", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(1);
+            let topo = topology::single_switch(
+                &mut engine,
+                calib::topo_spec(),
+                1,
+                vec![calib::fam(1 << 24)],
+            );
+            let lg = engine.add_component(
+                "lg",
+                LoadGen::new(LoadCfg {
+                    fha: topo.hosts[0].fha,
+                    base: FAM_BASE,
+                    len: 1 << 20,
+                    op_bytes: 64,
+                    write: false,
+                    window: 8,
+                    count: Some(1000),
+                    stop_at: SimTime::MAX,
+                    pattern: AddrPattern::Sequential,
+                }),
+            );
+            engine.post(lg, SimTime::ZERO, StartLoad);
+            engine.run_until_idle();
+            engine.component::<LoadGen>(lg).completed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_link_layer, bench_fabric_ops);
+criterion_main!(benches);

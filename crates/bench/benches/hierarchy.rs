@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the host memory-hierarchy model (backs
+//! Table 2): raw model throughput per tier.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use fcc_cache::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use fcc_cache::sa_cache::SetAssocCache;
+use fcc_sim::SimTime;
+
+fn bench_sa_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hit", |b| {
+        let mut cache = SetAssocCache::new(64 * 1024, 8, 64);
+        cache.access(0x100, false);
+        b.iter(|| cache.access(0x100, false));
+    });
+    group.bench_function("miss_stream", |b| {
+        let mut cache = SetAssocCache::new(64 * 1024, 8, 64);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 4096;
+            cache.access(addr, true)
+        });
+    });
+    group.finish();
+}
+
+fn bench_hierarchy_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_hit_walk", |b| {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::omega_like());
+        h.access(0x100, false, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            let plan = h.access(0x100, false, now);
+            now = plan.ready_at;
+            plan.level
+        });
+    });
+    group.bench_function("local_miss_walk", |b| {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::omega_like());
+        let mut addr = 0u64;
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            addr = (addr + 4096) % (64 << 20);
+            let plan = h.access(addr, false, now);
+            now = plan.ready_at;
+            plan.level
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sa_cache, bench_hierarchy_walk);
+criterion_main!(benches);

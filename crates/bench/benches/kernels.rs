@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks of the baseband DSP kernels (the real
+//! compute behind experiment E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fcc_baseband::channel::{randn_c, MimoChannel};
+use fcc_baseband::coding::ConvCode;
+use fcc_baseband::cplx::Cplx;
+use fcc_baseband::equalizer::zf_equalize;
+use fcc_baseband::fft::fft_inplace;
+use fcc_baseband::modulation::Modulation;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[64usize, 256, 1024] {
+        let data: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft_inplace(&mut d);
+                d[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let code = ConvCode::new();
+    let bits: Vec<u8> = (0..512).map(|_| rng.gen_range(0..2)).collect();
+    let coded = code.encode(&bits);
+    c.bench_function("viterbi_decode_512b", |b| b.iter(|| code.decode(&coded)));
+}
+
+fn bench_zf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let ch = MimoChannel::rayleigh(4, 4, 30.0, &mut rng);
+    let x: Vec<Cplx> = (0..4).map(|_| randn_c(&mut rng)).collect();
+    let y = ch.apply(&x, &mut rng);
+    c.bench_function("zf_equalize_4x4", |b| {
+        b.iter(|| zf_equalize(ch.csi(), &y, 4, 4))
+    });
+}
+
+fn bench_modulation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let bits: Vec<u8> = (0..1536).map(|_| rng.gen_range(0..2)).collect();
+    c.bench_function("qam64_map_demap_1536b", |b| {
+        b.iter(|| {
+            let syms = Modulation::Qam64.map_stream(&bits);
+            Modulation::Qam64.demap_stream(&syms)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_viterbi,
+    bench_zf,
+    bench_modulation
+);
+criterion_main!(benches);

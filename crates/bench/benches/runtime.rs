@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the UniFabric runtime data structures: the
+//! unified heap and the idempotent-task scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fcc_core::heap::{HeapNodeCfg, PlacementHint, UnifiedHeap};
+use fcc_core::task::{DagRuntime, Executor, Half, RecoveryMode, TaskSpec};
+use fcc_memnode::profile::{MemNodeKind, MemNodeProfile};
+use fcc_sim::SimTime;
+use fcc_workloads::access::ZipfStream;
+use fcc_workloads::failure::FailureSchedule;
+
+fn heap() -> UnifiedHeap {
+    UnifiedHeap::new(vec![
+        HeapNodeCfg {
+            profile: MemNodeProfile::omega_like(MemNodeKind::HostLocal, 1 << 22),
+        },
+        HeapNodeCfg {
+            profile: MemNodeProfile::omega_like(MemNodeKind::CpulessNuma, 1 << 30),
+        },
+    ])
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unified_heap");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("alloc_free", |b| {
+        let mut h = heap();
+        b.iter(|| {
+            let obj = h.alloc(4096, PlacementHint::Auto).expect("fits");
+            h.free(obj).expect("live");
+        });
+    });
+    group.bench_function("access_profile", |b| {
+        let mut h = heap();
+        let obj = h.alloc(4096, PlacementHint::Auto).expect("fits");
+        b.iter(|| h.access(obj, 0, false).expect("live"));
+    });
+    group.bench_function("rebalance_512_objs", |b| {
+        let mut h = heap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let objs: Vec<_> = (0..512)
+            .map(|_| h.alloc(4096, PlacementHint::Auto).expect("fits"))
+            .collect();
+        let mut zipf = ZipfStream::new(512, 1.1);
+        for _ in 0..10_000 {
+            let o = objs[zipf.next(&mut rng) as usize];
+            h.access(o, 0, false).expect("live");
+        }
+        b.iter(|| h.rebalance().moves.len());
+    });
+    group.finish();
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_runtime");
+    group.sample_size(20);
+    // A 3-wide, 20-deep DAG.
+    let mut tasks = Vec::new();
+    let mut id = 0u32;
+    let mut prev: Option<u32> = None;
+    for _ in 0..20 {
+        let mut layer = Vec::new();
+        for _ in 0..3 {
+            let deps = prev.map(|p| vec![p]).unwrap_or_default();
+            tasks.push(TaskSpec::new(id, SimTime::from_us(10.0), deps));
+            layer.push(id);
+            id += 1;
+        }
+        tasks.push(TaskSpec::new(id, SimTime::from_us(5.0), layer));
+        prev = Some(id);
+        id += 1;
+    }
+    let execs: Vec<Executor> = (0..4)
+        .map(|d| Executor {
+            domain: d,
+            speed: 1.0,
+            half: Half::Bottom,
+        })
+        .collect();
+    let rt = DagRuntime::new(execs, RecoveryMode::Idempotent);
+    let mut rng = StdRng::seed_from_u64(2);
+    let failures = FailureSchedule::draw(
+        4,
+        SimTime::from_us(100.0),
+        SimTime::from_us(10.0),
+        SimTime::from_ms(10.0),
+        &mut rng,
+    );
+    group.bench_function("run_80_tasks_with_failures", |b| {
+        b.iter(|| rt.run(&tasks, &failures).makespan);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heap, bench_dag);
+criterion_main!(benches);

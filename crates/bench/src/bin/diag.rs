@@ -1,0 +1,83 @@
+//! Diagnostic: event counts and wall time for contended fabric runs.
+
+use std::time::Instant;
+
+use fcc_bench::loadgen::{AddrPattern, LoadCfg, LoadGen, StartLoad};
+use fcc_fabric::credit::AllocPolicy;
+use fcc_fabric::endpoint::{Endpoint, PipelinedMemory};
+use fcc_fabric::switch::{FabricSwitch, QueueDiscipline, SwitchConfig};
+use fcc_fabric::topology::{self, TopologySpec, FAM_BASE};
+use fcc_proto::phys::PhysConfig;
+use fcc_sim::{Engine, SimTime};
+
+fn main() {
+    let dev: Box<dyn Endpoint> = Box::new(PipelinedMemory::new(
+        SimTime::from_ns(200.0),
+        SimTime::from_ns(220.0),
+        SimTime::from_ns(40.0),
+        1 << 30,
+    ));
+    let spec = TopologySpec {
+        switch: SwitchConfig {
+            phys: PhysConfig::omega_like(),
+            fwd_latency: SimTime::from_ns(90.0),
+            queueing: QueueDiscipline::Voq,
+            allocation: AllocPolicy::Fair,
+            ..SwitchConfig::fabrex_like()
+        },
+        fha_outstanding: 64,
+        ..TopologySpec::default()
+    };
+    let mut engine = Engine::new(1);
+    let topo = topology::single_switch(&mut engine, spec, 3, vec![dev]);
+    let small = engine.add_component(
+        "small",
+        LoadGen::new(LoadCfg {
+            fha: topo.hosts[0].fha,
+            base: FAM_BASE,
+            len: 1 << 20,
+            op_bytes: 64,
+            write: true,
+            window: 2,
+            count: Some(100),
+            stop_at: SimTime::MAX,
+            pattern: AddrPattern::Sequential,
+        }),
+    );
+    engine.post(small, SimTime::ZERO, StartLoad);
+    for h in 1..3 {
+        let lg = engine.add_component(
+            format!("bulk{h}"),
+            LoadGen::new(LoadCfg {
+                fha: topo.hosts[h].fha,
+                base: FAM_BASE + (h as u64) * (64 << 20),
+                len: 32 << 20,
+                op_bytes: 16384,
+                write: true,
+                window: 2,
+                count: None,
+                stop_at: SimTime::from_us(100.0),
+                pattern: AddrPattern::Sequential,
+            }),
+        );
+        engine.post(lg, SimTime::ZERO, StartLoad);
+    }
+    let t = Instant::now();
+    engine.run_until_idle();
+    println!(
+        "{} events, {:?} wall, sim {}",
+        engine.events_dispatched(),
+        t.elapsed(),
+        engine.now()
+    );
+    let sw = engine.component::<FabricSwitch>(topo.switches[0]);
+    println!("switch forwarded {}", sw.forwarded.get());
+    for p in 0..sw.port_count() {
+        println!(
+            "  port {p}: tx {} rx {} pending {}",
+            sw.port(p).tx_flits.get(),
+            sw.port(p).rx_flits.get(),
+            sw.port(p).pending_len(),
+        );
+    }
+}

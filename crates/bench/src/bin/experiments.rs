@@ -1,0 +1,93 @@
+//! Regenerates the paper's tables, figures, and quantified claims.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] <id>...
+//! experiments all
+//! ```
+//!
+//! Ids: `t1 t2 f1 e3a e3b e3c e3d e3e e4 e5 e6 e7 e8 e9 e10 nodes
+//! abl-flit abl-adaptive abl-credits` or `all`.
+//! `--quick` shortens op counts (CI-friendly; same shapes).
+
+use fcc_bench::{
+    exp_abl, exp_e10, exp_e3, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8, exp_e9, exp_f1, exp_nodes,
+    exp_t1, exp_t2,
+};
+
+const ALL: [&str; 19] = [
+    "t1",
+    "t2",
+    "f1",
+    "e3a",
+    "e3b",
+    "e3c",
+    "e3d",
+    "e3e",
+    "e4",
+    "e5",
+    "e6",
+    "e7",
+    "e8",
+    "e9",
+    "e10",
+    "nodes",
+    "abl-flit",
+    "abl-adaptive",
+    "abl-credits",
+];
+
+fn run_one(id: &str, quick: bool) {
+    println!("================================================================");
+    match id {
+        "t1" => println!("{}", exp_t1::run()),
+        "t2" => println!("{}", exp_t2::run(quick)),
+        "f1" => println!("{}", exp_f1::run()),
+        "e3a" => println!("{}", exp_e3::run_a(quick)),
+        "e3b" => println!("{}", exp_e3::run_b(quick)),
+        "e3c" => println!("{}", exp_e3::run_c(quick)),
+        "e3d" => println!("{}", exp_e3::run_d(quick)),
+        "e3e" => println!("{}", exp_e3::run_e(quick)),
+        "e4" => println!("{}", exp_e4::run(quick)),
+        "e5" => println!("{}", exp_e5::run(quick)),
+        "e6" => println!("{}", exp_e6::run(quick)),
+        "e7" => println!("{}", exp_e7::run(quick)),
+        "e8" => println!("{}", exp_e8::run(quick)),
+        "e9" => println!("{}", exp_e9::run(quick)),
+        "e10" => println!("{}", exp_e10::run(quick)),
+        "nodes" => println!("{}", exp_nodes::run(quick)),
+        "abl-flit" => println!("{}", exp_abl::run_flit(quick)),
+        "abl-adaptive" => println!("{}", exp_abl::run_adaptive(quick)),
+        "abl-credits" => println!("{}", exp_abl::run_credits(quick)),
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            eprintln!("known ids: {} all", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments [--quick] <id>... | all");
+        eprintln!("ids: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    if ids.contains(&"all") {
+        for id in ALL {
+            run_one(id, quick);
+        }
+    } else {
+        for id in ids {
+            run_one(id, quick);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Omega-testbed calibration for the fabric experiments.
+//!
+//! Table 2 anchors the end-to-end numbers; the decomposition into link,
+//! switch, and device parameters below is our estimate of the FPGA-based
+//! IntelliProp Omega testbed (documented in `EXPERIMENTS.md`):
+//!
+//! * Flex Bus links: Gen5 ×16, 68 B flits, 180 ns one-way SerDes+cable
+//!   (FPGA transceivers are slow).
+//! * Switch: 95 ns per-flit forwarding (the paper quotes <100 ns for the
+//!   FabreX part).
+//! * FAM device: 641/679 ns read/write service behind a pipelined
+//!   controller front-end (Table 2's 1575/1613 ns end-to-end after two
+//!   link crossings each way, the switch, and the L1/L2 lookup).
+//! * Memory-level parallelism: 4 outstanding fabric loads per core
+//!   (Table 2's 2.5 MOPS ≈ 4 / 1575 ns).
+
+use fcc_fabric::endpoint::{Endpoint, PipelinedMemory};
+use fcc_fabric::switch::SwitchConfig;
+use fcc_fabric::topology::TopologySpec;
+use fcc_proto::flit::FlitMode;
+use fcc_proto::link::CreditConfig;
+use fcc_proto::phys::{Bifurcation, LinkSpeed, PhysConfig};
+use fcc_sim::SimTime;
+
+/// One-way link propagation (SerDes + cable) on the calibrated testbed.
+pub fn link_propagation() -> SimTime {
+    SimTime::from_ns(180.0)
+}
+
+/// The calibrated Flex Bus physical configuration.
+pub fn phys() -> PhysConfig {
+    PhysConfig {
+        speed: LinkSpeed::Gen5,
+        width: Bifurcation::X16,
+        flit_mode: FlitMode::Flit68,
+        propagation: link_propagation(),
+    }
+}
+
+/// The calibrated switch configuration (FabreX-like forwarding latency).
+pub fn switch_cfg() -> SwitchConfig {
+    SwitchConfig {
+        phys: phys(),
+        fwd_latency: SimTime::from_ns(95.0),
+        ..SwitchConfig::fabrex_like()
+    }
+}
+
+/// Calibrated per-core fabric memory-level parallelism.
+pub const REMOTE_WINDOW: usize = 4;
+
+/// The calibrated FAM module.
+pub fn fam(capacity: u64) -> Box<dyn Endpoint> {
+    Box::new(PipelinedMemory::new(
+        SimTime::from_ns(641.0),
+        SimTime::from_ns(679.0),
+        SimTime::from_ns(120.0),
+        capacity,
+    ))
+}
+
+/// A fast staging/near-memory device (used by the E4 managed-movement
+/// experiment as the migration destination).
+pub fn staging(capacity: u64) -> Box<dyn Endpoint> {
+    Box::new(PipelinedMemory::new(
+        SimTime::from_ns(120.0),
+        SimTime::from_ns(130.0),
+        SimTime::from_ns(20.0),
+        capacity,
+    ))
+}
+
+/// Link-layer credits sized to the bandwidth-delay product of the long
+/// calibrated links (512 Gbit/s × ~400 ns RTT ≈ 375 flits), so bulk
+/// transfers are not throttled by credit-return latency.
+pub fn credit_cfg() -> CreditConfig {
+    CreditConfig {
+        buffer_flits: 512,
+        overcommit: 1.0,
+        return_threshold: 16,
+        retry_depth: 4096,
+    }
+}
+
+/// Topology spec with the calibration applied.
+pub fn topo_spec() -> TopologySpec {
+    TopologySpec {
+        switch: SwitchConfig {
+            credit: credit_cfg(),
+            ..switch_cfg()
+        },
+        credit: credit_cfg(),
+        fha_outstanding: 64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_constants() {
+        assert!((phys().raw_gbps() - 512.0).abs() < 1e-9);
+        assert_eq!(switch_cfg().fwd_latency, SimTime::from_ns(95.0));
+        assert_eq!(REMOTE_WINDOW, 4);
+    }
+}

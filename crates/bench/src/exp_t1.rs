@@ -1,0 +1,65 @@
+//! T1 — Table 1: the commodity memory fabrics (declarative registry).
+
+use std::fmt;
+
+use fcc_proto::registry::{FabricSpec, COMMODITY_FABRICS};
+
+/// The registry rendered as the paper's Table 1.
+pub struct T1Result {
+    /// The rows.
+    pub rows: Vec<&'static FabricSpec>,
+}
+
+/// Runs T1.
+pub fn run() -> T1Result {
+    T1Result {
+        rows: COMMODITY_FABRICS.iter().collect(),
+    }
+}
+
+impl fmt::Display for T1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "T1 — Table 1: commodity memory fabrics")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.interconnect.to_string(),
+                    r.vendor.to_string(),
+                    r.active_span(),
+                    r.specifications.join(", "),
+                    r.demonstrations.join(", "),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            crate::fmt_table(
+                &[
+                    "Interconnect",
+                    "Vendor",
+                    "Active Development",
+                    "Specification",
+                    "Product Demonstration"
+                ],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_all_four_fabrics() {
+        let r = run();
+        let s = r.to_string();
+        for name in ["Gen-Z", "CAPI/OpenCAPI", "CCIX", "CXL"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

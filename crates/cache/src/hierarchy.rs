@@ -1,0 +1,349 @@
+//! The L1/L2 hierarchy walk with Table 2 calibration.
+//!
+//! Each level has a **hit latency** (dependent-access cost) and an
+//! **occupancy** (minimum spacing between completions — the port/bank
+//! bandwidth limit). The distinction is what makes Table 2's two columns
+//! reproducible: latency is measured with dependent pointer chases,
+//! throughput with independent streams, and `MOPS ≈ min(window/latency,
+//! 1/occupancy)`.
+
+use serde::{Deserialize, Serialize};
+
+use fcc_sim::SimTime;
+
+use crate::sa_cache::{AccessOutcome, SetAssocCache};
+
+/// Where an access was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceLevel {
+    /// L1 hit.
+    L1,
+    /// L2 hit.
+    L2,
+    /// Host-local DRAM.
+    LocalMem,
+    /// Fabric-attached memory (served by the fabric simulation).
+    Remote,
+}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LevelConfig {
+    /// Capacity in bytes.
+    pub size: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency.
+    pub hit_latency: SimTime,
+    /// Minimum spacing between completions (1/throughput).
+    pub occupancy: SimTime,
+}
+
+/// Timing of host-local DRAM.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LocalMemConfig {
+    /// Read latency.
+    pub read_latency: SimTime,
+    /// Write latency.
+    pub write_latency: SimTime,
+    /// Read occupancy (1/read-throughput).
+    pub read_occupancy: SimTime,
+    /// Write occupancy (1/write-throughput).
+    pub write_occupancy: SimTime,
+}
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1: LevelConfig,
+    /// L2 cache.
+    pub l2: LevelConfig,
+    /// Local memory timing.
+    pub local: LocalMemConfig,
+    /// Addresses at or above this boundary are fabric-attached.
+    pub fam_base: u64,
+}
+
+impl HierarchyConfig {
+    /// The Omega-testbed calibration: Table 2's L1/L2/local rows.
+    ///
+    /// Latencies are the paper's measurements; occupancies are derived
+    /// from the paper's MOPS columns (`occupancy = 1 / throughput`):
+    /// L1 357.4 MOPS → 2.80 ns, L2 143.4 MOPS → 6.97 ns, local read
+    /// 29.4 MOPS → 34.0 ns, local write 16.9 MOPS → 59.2 ns.
+    pub fn omega_like() -> Self {
+        HierarchyConfig {
+            l1: LevelConfig {
+                size: 64 * 1024,
+                ways: 8,
+                hit_latency: SimTime::from_ns(5.4),
+                occupancy: SimTime::from_ns(2.80),
+            },
+            l2: LevelConfig {
+                size: 1024 * 1024,
+                ways: 16,
+                hit_latency: SimTime::from_ns(13.6),
+                occupancy: SimTime::from_ns(6.97),
+            },
+            local: LocalMemConfig {
+                read_latency: SimTime::from_ns(111.7),
+                write_latency: SimTime::from_ns(119.3),
+                read_occupancy: SimTime::from_ns(34.0),
+                write_occupancy: SimTime::from_ns(59.2),
+            },
+            fam_base: 0x10_0000_0000,
+        }
+    }
+}
+
+/// What the hierarchy decided about one access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPlan {
+    /// Where the access is served.
+    pub level: ServiceLevel,
+    /// Completion latency for locally-served accesses (`Remote` reports
+    /// only the L1+L2 lookup cost spent before going to the fabric).
+    pub latency: SimTime,
+    /// Earliest completion honoring level occupancy.
+    pub ready_at: SimTime,
+    /// Dirty lines pushed out that must be written downstream.
+    pub writebacks: Vec<u64>,
+}
+
+/// The two-level hierarchy structure plus occupancy trackers.
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    /// L1 data cache (public for probes).
+    pub l1: SetAssocCache,
+    /// L2 cache (public for probes).
+    pub l2: SetAssocCache,
+    l1_free_at: SimTime,
+    l2_free_at: SimTime,
+    mem_free_at: SimTime,
+    /// Accesses served per level: `[l1, l2, local, remote]`.
+    pub served: [u64; 4],
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            cfg,
+            l1: SetAssocCache::new(cfg.l1.size, cfg.l1.ways, 64),
+            l2: SetAssocCache::new(cfg.l2.size, cfg.l2.ways, 64),
+            l1_free_at: SimTime::ZERO,
+            l2_free_at: SimTime::ZERO,
+            mem_free_at: SimTime::ZERO,
+            served: [0; 4],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Whether an address is fabric-attached.
+    pub fn is_remote(&self, addr: u64) -> bool {
+        addr >= self.cfg.fam_base
+    }
+
+    /// Runs one access through the hierarchy at time `now`.
+    ///
+    /// Remote misses return `ServiceLevel::Remote` with the lookup cost
+    /// spent so far; the caller sends the miss to the fabric and the
+    /// response fill is modeled by [`MemoryHierarchy::fill`].
+    pub fn access(&mut self, addr: u64, is_write: bool, now: SimTime) -> AccessPlan {
+        let mut writebacks = Vec::new();
+        // L1 lookup.
+        match self.l1.access(addr, is_write) {
+            AccessOutcome::Hit => {
+                self.served[0] += 1;
+                let start = self.l1_free_at.max(now);
+                self.l1_free_at = start + self.cfg.l1.occupancy;
+                return AccessPlan {
+                    level: ServiceLevel::L1,
+                    latency: self.cfg.l1.hit_latency,
+                    ready_at: start + self.cfg.l1.hit_latency,
+                    writebacks,
+                };
+            }
+            AccessOutcome::Miss { writeback } => {
+                if let Some(wb) = writeback {
+                    // L1 victim goes to L2 (allocate there).
+                    if let AccessOutcome::Miss {
+                        writeback: Some(wb2),
+                    } = self.l2.access(wb, true)
+                    {
+                        writebacks.push(wb2);
+                    }
+                }
+            }
+        }
+        // L2 lookup.
+        match self.l2.access(addr, is_write) {
+            AccessOutcome::Hit => {
+                self.served[1] += 1;
+                let start = self.l2_free_at.max(now);
+                self.l2_free_at = start + self.cfg.l2.occupancy;
+                return AccessPlan {
+                    level: ServiceLevel::L2,
+                    latency: self.cfg.l2.hit_latency,
+                    ready_at: start + self.cfg.l2.hit_latency,
+                    writebacks,
+                };
+            }
+            AccessOutcome::Miss { writeback } => {
+                if let Some(wb) = writeback {
+                    writebacks.push(wb);
+                }
+            }
+        }
+        if self.is_remote(addr) {
+            self.served[3] += 1;
+            // Lookup cost before the fabric request leaves the core.
+            let lookup = self.cfg.l1.hit_latency + self.cfg.l2.hit_latency;
+            return AccessPlan {
+                level: ServiceLevel::Remote,
+                latency: lookup,
+                ready_at: now + lookup,
+                writebacks,
+            };
+        }
+        self.served[2] += 1;
+        let (lat, occ) = if is_write {
+            (self.cfg.local.write_latency, self.cfg.local.write_occupancy)
+        } else {
+            (self.cfg.local.read_latency, self.cfg.local.read_occupancy)
+        };
+        let start = self.mem_free_at.max(now);
+        self.mem_free_at = start + occ;
+        AccessPlan {
+            level: ServiceLevel::LocalMem,
+            latency: lat,
+            ready_at: start + lat,
+            writebacks,
+        }
+    }
+
+    /// Installs a remote fill (the response arrived from the fabric);
+    /// no-op beyond the allocation already done in [`MemoryHierarchy::access`].
+    pub fn fill(&mut self, _addr: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::omega_like())
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut m = h();
+        let first = m.access(0x100, false, SimTime::ZERO);
+        assert_eq!(first.level, ServiceLevel::LocalMem);
+        let second = m.access(0x100, false, first.ready_at);
+        assert_eq!(second.level, ServiceLevel::L1);
+        assert_eq!(second.latency, SimTime::from_ns(5.4));
+    }
+
+    #[test]
+    fn l2_serves_l1_victims() {
+        let mut m = h();
+        // Fill far beyond L1 (64 KiB) but within L2 (1 MiB), then re-walk:
+        // everything should be L2 hits (or better).
+        let span = 256 * 1024u64;
+        let mut now = SimTime::ZERO;
+        for addr in (0..span).step_by(64) {
+            now = m.access(addr, false, now).ready_at;
+        }
+        let mut l2_hits = 0;
+        for addr in (0..span).step_by(64) {
+            let plan = m.access(addr, false, now);
+            now = plan.ready_at;
+            if plan.level == ServiceLevel::L2 {
+                l2_hits += 1;
+            }
+            assert_ne!(plan.level, ServiceLevel::LocalMem, "resident in L2");
+        }
+        assert!(l2_hits > 3000, "most of the sweep hits L2: {l2_hits}");
+    }
+
+    #[test]
+    fn remote_addresses_go_to_the_fabric() {
+        let mut m = h();
+        let plan = m.access(0x10_0000_0000, false, SimTime::ZERO);
+        assert_eq!(plan.level, ServiceLevel::Remote);
+        // Second access hits in L1: the fill was allocated.
+        let plan2 = m.access(0x10_0000_0000, false, plan.ready_at);
+        assert_eq!(plan2.level, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn occupancy_limits_throughput() {
+        let mut m = h();
+        // Warm one line, then hammer it at t=0: completions space out by
+        // the L1 occupancy.
+        m.access(0x100, false, SimTime::ZERO);
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            let plan = m.access(0x100, false, SimTime::ZERO);
+            assert!(plan.ready_at > last);
+            last = plan.ready_at;
+        }
+        // 1 warm (local) + 10 hits at 2.8ns spacing ≥ 28ns window.
+        let occ_window = SimTime::from_ns(2.8) * 9;
+        assert!(last >= occ_window);
+    }
+
+    #[test]
+    fn dependent_chain_latency_matches_table2_rows() {
+        let mut m = h();
+        // Warm a line then measure a dependent L1 chain.
+        m.access(0, false, SimTime::ZERO);
+        let mut now = SimTime::from_us(1.0);
+        let start = now;
+        for _ in 0..100 {
+            let plan = m.access(0, false, now);
+            assert_eq!(plan.level, ServiceLevel::L1);
+            now = now.max(plan.ready_at);
+        }
+        let per = (now - start) / 100;
+        assert!((per.as_ns() - 5.4).abs() < 0.2, "L1 {per}");
+    }
+
+    #[test]
+    fn writebacks_surface_dirty_victims() {
+        let cfg = HierarchyConfig {
+            l1: LevelConfig {
+                size: 2 * 64,
+                ways: 1,
+                hit_latency: SimTime::from_ns(5.0),
+                occupancy: SimTime::from_ns(2.0),
+            },
+            l2: LevelConfig {
+                size: 4 * 64,
+                ways: 1,
+                hit_latency: SimTime::from_ns(13.0),
+                occupancy: SimTime::from_ns(7.0),
+            },
+            ..HierarchyConfig::omega_like()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        let mut now = SimTime::ZERO;
+        let mut wb_total = 0;
+        // Write a conflict set larger than L1+L2 so dirty lines spill out.
+        for round in 0..4 {
+            for i in 0..8u64 {
+                let plan = m.access(i * 2 * 64, true, now);
+                now = plan.ready_at;
+                wb_total += plan.writebacks.len();
+                let _ = round;
+            }
+        }
+        assert!(wb_total > 0, "dirty victims must surface");
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Host memory hierarchy: caches, prefetching, and the pipeline model.
+//!
+//! §3 Difference #1 of the paper: "the memory fabric is inherently
+//! integrated into the memory hierarchy and execution pipeline of the host
+//! processor [...] (1) the host-side caching structure and CPU-assisted
+//! prefetching would transparently accelerate memory fabric performance;
+//! (2) the throughput of a memory fabric that a core can drive depends on
+//! its channel bandwidth capacity and the depth of the CPU pipeline."
+//!
+//! * [`sa_cache`] — a set-associative, write-back cache with LRU
+//!   replacement (pure structure).
+//! * [`prefetch`] — a stride prefetcher.
+//! * [`hierarchy`] — L1/L2 walk with per-level latency and occupancy,
+//!   calibrated against Table 2 of the paper.
+//! * [`core`] — the `CpuCore` engine component: drives dependent
+//!   (latency-bound) or independent (window-bound) access streams through
+//!   the hierarchy, going to the fabric via an FHA on remote misses.
+
+pub mod coherent;
+pub mod core;
+pub mod hierarchy;
+pub mod prefetch;
+pub mod sa_cache;
+
+pub use crate::core::{AccessPattern, CoreReport, CpuCore, RunDone, StartRun};
+pub use coherent::{CoherentAccess, CoherentDone, CoherentL1};
+pub use hierarchy::{HierarchyConfig, LevelConfig, LocalMemConfig, MemoryHierarchy, ServiceLevel};
+pub use prefetch::StridePrefetcher;
+pub use sa_cache::{AccessOutcome, SetAssocCache};

@@ -1,0 +1,164 @@
+//! A stride prefetcher.
+//!
+//! The paper notes that "CPU-assisted prefetching would transparently
+//! accelerate memory fabric performance" (§3 D#1) and that FCC should
+//! enhance synchronous accesses "with SW/HW-assisted caching and
+//! prefetching optimizations" (§4 DP#1). This detector tracks a small
+//! table of recent access streams, confirms a stride after two repeats,
+//! and then emits the next `degree` line addresses.
+
+/// One tracked stream.
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    last_used: u64,
+}
+
+/// A multi-stream stride prefetcher.
+#[derive(Debug)]
+pub struct StridePrefetcher {
+    table: Vec<Option<StreamEntry>>,
+    degree: usize,
+    line_bytes: u64,
+    clock: u64,
+    /// Prefetches issued.
+    pub issued: u64,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher with `streams` table entries emitting `degree`
+    /// prefetches per confirmed access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` or `line_bytes` is zero.
+    pub fn new(streams: usize, degree: usize, line_bytes: u64) -> Self {
+        assert!(streams > 0 && line_bytes > 0, "degenerate prefetcher");
+        StridePrefetcher {
+            table: vec![None; streams],
+            degree,
+            line_bytes,
+            clock: 0,
+            issued: 0,
+        }
+    }
+
+    /// Observes a demand access and returns addresses to prefetch.
+    pub fn observe(&mut self, addr: u64) -> Vec<u64> {
+        self.clock += 1;
+        let line = self.line_bytes as i64;
+        // Find the stream this access continues: entry whose projected next
+        // address (or whose neighborhood) matches.
+        let mut best: Option<usize> = None;
+        for (i, slot) in self.table.iter().enumerate() {
+            if let Some(e) = slot {
+                let delta = addr as i64 - e.last_addr as i64;
+                if delta != 0 && delta.abs() <= 8 * line {
+                    best = Some(i);
+                    break;
+                }
+            }
+        }
+        match best {
+            Some(i) => {
+                let e = self.table[i].as_mut().expect("present");
+                let delta = addr as i64 - e.last_addr as i64;
+                if delta == e.stride {
+                    e.confidence = e.confidence.saturating_add(1);
+                } else {
+                    e.stride = delta;
+                    e.confidence = 1;
+                }
+                e.last_addr = addr;
+                e.last_used = self.clock;
+                if e.confidence >= 2 {
+                    let stride = e.stride;
+                    let out: Vec<u64> = (1..=self.degree as i64)
+                        .filter_map(|k| addr.checked_add_signed(stride * k))
+                        .collect();
+                    self.issued += out.len() as u64;
+                    return out;
+                }
+                Vec::new()
+            }
+            None => {
+                // Allocate: reuse the least-recently-used slot.
+                let slot = self
+                    .table
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.map(|e| e.last_used).unwrap_or(0))
+                    .map(|(i, _)| i)
+                    .expect("non-empty table");
+                self.table[slot] = Some(StreamEntry {
+                    last_addr: addr,
+                    stride: 0,
+                    confidence: 0,
+                    last_used: self.clock,
+                });
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_confirms_after_two_strides() {
+        let mut p = StridePrefetcher::new(4, 2, 64);
+        assert!(p.observe(0).is_empty(), "first touch");
+        assert!(p.observe(64).is_empty(), "stride candidate");
+        let out = p.observe(128);
+        assert_eq!(out, vec![192, 256], "confirmed, degree 2");
+    }
+
+    #[test]
+    fn negative_stride_supported() {
+        let mut p = StridePrefetcher::new(4, 1, 64);
+        p.observe(1024);
+        p.observe(960);
+        let out = p.observe(896);
+        assert_eq!(out, vec![832]);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = StridePrefetcher::new(4, 2, 64);
+        p.observe(0);
+        p.observe(64);
+        p.observe(128); // confirmed
+        assert!(p.observe(256).is_empty(), "stride changed to 128");
+        let out = p.observe(384);
+        assert_eq!(out, vec![512, 640], "new stride confirmed");
+    }
+
+    #[test]
+    fn random_accesses_never_confirm() {
+        let mut p = StridePrefetcher::new(4, 2, 64);
+        let mut issued = 0;
+        // Far-apart addresses never fall in any stream's neighborhood.
+        for i in 0..50u64 {
+            issued += p.observe(i * 1_000_003).len();
+        }
+        assert_eq!(issued, 0);
+    }
+
+    #[test]
+    fn interleaved_streams_tracked_separately() {
+        let mut p = StridePrefetcher::new(4, 1, 64);
+        // Stream A at 0x0000..., stream B at 0x100000... interleaved.
+        let a: Vec<u64> = (0..4).map(|i| i * 64).collect();
+        let b: Vec<u64> = (0..4).map(|i| 0x10_0000 + i * 64).collect();
+        let mut prefetches = 0;
+        for i in 0..4 {
+            prefetches += p.observe(a[i]).len();
+            prefetches += p.observe(b[i]).len();
+        }
+        assert!(prefetches >= 4, "both streams confirmed, got {prefetches}");
+    }
+}

@@ -1,0 +1,310 @@
+//! A set-associative, write-back, write-allocate cache with LRU
+//! replacement.
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was filled; a victim may have been written back.
+    Miss {
+        /// Dirty victim line address that must be written back, if any.
+        writeback: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic use stamp for LRU.
+    used: u64,
+}
+
+/// The cache structure.
+///
+/// # Examples
+///
+/// ```
+/// use fcc_cache::sa_cache::{AccessOutcome, SetAssocCache};
+///
+/// let mut l1 = SetAssocCache::new(32 * 1024, 8, 64);
+/// assert!(matches!(l1.access(0x1000, false), AccessOutcome::Miss { .. }));
+/// assert_eq!(l1.access(0x1000, true), AccessOutcome::Hit);
+/// assert!(l1.invalidate(0x1000), "was dirty");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    line_bytes: u64,
+    storage: Vec<Way>,
+    clock: u64,
+    /// Hits observed.
+    pub hits: u64,
+    /// Misses observed.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `size_bytes` with `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways/lines, size not a
+    /// multiple of `ways * line_bytes`, or a non-power-of-two set count).
+    pub fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(ways > 0 && line_bytes > 0, "degenerate geometry");
+        assert!(
+            size_bytes.is_multiple_of(ways as u64 * line_bytes),
+            "size must be a multiple of ways * line"
+        );
+        let sets = (size_bytes / (ways as u64 * line_bytes)) as usize;
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
+        SetAssocCache {
+            sets,
+            ways,
+            line_bytes,
+            storage: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    used: 0,
+                };
+                sets * ways
+            ],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes
+    }
+
+    /// Cache line size.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Hit rate so far (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        (set, tag)
+    }
+
+    /// Accesses `addr`; on a miss the line is allocated.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let (set, tag) = self.locate(addr);
+        let base = set * self.ways;
+        let ways = &mut self.storage[base..base + self.ways];
+        // Hit?
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.used = self.clock;
+            way.dirty |= is_write;
+            self.hits += 1;
+            return AccessOutcome::Hit;
+        }
+        self.misses += 1;
+        // Victim: invalid first, else LRU.
+        let victim_idx = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.valid, w.used))
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        let victim = ways[victim_idx];
+        let victim_addr = (victim.tag * self.sets as u64 + set as u64) * self.line_bytes;
+        let writeback = if victim.valid && victim.dirty {
+            self.writebacks += 1;
+            Some(victim_addr)
+        } else {
+            None
+        };
+        let ways = &mut self.storage[base..base + self.ways];
+        ways[victim_idx] = Way {
+            tag,
+            valid: true,
+            dirty: is_write,
+            used: self.clock,
+        };
+        AccessOutcome::Miss { writeback }
+    }
+
+    /// Whether `addr`'s line is currently cached (no LRU update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        let base = set * self.ways;
+        self.storage[base..base + self.ways]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates `addr`'s line; returns whether it was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        let base = set * self.ways;
+        for w in &mut self.storage[base..base + self.ways] {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                return w.dirty;
+            }
+        }
+        false
+    }
+
+    /// Drops all contents (no writebacks — test/reset use).
+    pub fn clear(&mut self) {
+        for w in &mut self.storage {
+            w.valid = false;
+            w.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = SetAssocCache::new(32 * 1024, 8, 64);
+        assert_eq!(c.capacity(), 32 * 1024);
+        assert_eq!(c.sets, 64);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = SetAssocCache::new(4096, 4, 64);
+        assert!(matches!(c.access(0x100, false), AccessOutcome::Miss { .. }));
+        assert_eq!(c.access(0x100, false), AccessOutcome::Hit);
+        assert_eq!(c.access(0x13f, false), AccessOutcome::Hit, "same line");
+        assert!(matches!(c.access(0x140, false), AccessOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way, tiny: one set per conflict class.
+        let mut c = SetAssocCache::new(2 * 64, 2, 64);
+        c.access(0, false);
+        c.access(64, false);
+        c.access(0, false); // 0 more recent than 64.
+        c.access(128, false); // evicts 64.
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = SetAssocCache::new(2 * 64, 2, 64);
+        c.access(0, true);
+        c.access(64, false);
+        // Evict line 0 (dirty): writeback address 0.
+        c.access(64, false); // touch 64 so 0 is LRU.
+        let out = c.access(128, false);
+        assert_eq!(out, AccessOutcome::Miss { writeback: Some(0) });
+        assert_eq!(c.writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = SetAssocCache::new(2 * 64, 2, 64);
+        c.access(0, false);
+        c.access(64, false);
+        let out = c.access(128, false);
+        assert_eq!(out, AccessOutcome::Miss { writeback: None });
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = SetAssocCache::new(2 * 64, 2, 64);
+        c.access(0, false);
+        c.access(0, true); // dirty via hit.
+        c.access(64, false);
+        c.access(64, false);
+        let out = c.access(128, false);
+        assert_eq!(out, AccessOutcome::Miss { writeback: Some(0) });
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = SetAssocCache::new(4096, 4, 64);
+        c.access(0x100, true);
+        assert!(c.invalidate(0x100));
+        assert!(!c.probe(0x100));
+        assert!(!c.invalidate(0x100), "already gone");
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = SetAssocCache::new(32 * 1024, 8, 64);
+        for addr in (0..32 * 1024).step_by(64) {
+            c.access(addr, false);
+        }
+        let misses_before = c.misses;
+        for addr in (0..32 * 1024).step_by(64) {
+            c.access(addr, false);
+        }
+        assert_eq!(c.misses, misses_before, "fully resident");
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = SetAssocCache::new(4096, 4, 64);
+        // Sequential sweep of 4x capacity: LRU on a looping sweep never hits.
+        for _ in 0..3 {
+            for addr in (0..16 * 1024).step_by(64) {
+                c.access(addr, false);
+            }
+        }
+        assert_eq!(c.hits, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn probe_agrees_with_access(ops in prop::collection::vec((0u64..1 << 16, any::<bool>()), 1..500)) {
+            let mut c = SetAssocCache::new(8192, 4, 64);
+            for (addr, w) in ops {
+                let probed = c.probe(addr);
+                let outcome = c.access(addr, w);
+                prop_assert_eq!(probed, outcome == AccessOutcome::Hit);
+                prop_assert!(c.probe(addr), "line resident after access");
+            }
+        }
+
+        #[test]
+        fn stats_add_up(ops in prop::collection::vec(0u64..1 << 14, 1..300)) {
+            let mut c = SetAssocCache::new(4096, 2, 64);
+            for addr in &ops {
+                c.access(*addr, false);
+            }
+            prop_assert_eq!(c.hits + c.misses, ops.len() as u64);
+        }
+    }
+}

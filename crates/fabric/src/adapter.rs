@@ -1,0 +1,854 @@
+//! Fabric adapters: the FHA (host side) and FEA (device side).
+//!
+//! "An FHA converts channel requests into fabric routable packets (or
+//! flits) following the protocol specification and transmits them to the
+//! wire. [...] when an adapter receives responses, it parses the packets,
+//! obtains replied data or completion signals, and delivers them to the
+//! processor execution pipeline" (§2.2). The [`Fha`] exposes a
+//! message-based request interface to host-side models (the cache
+//! hierarchy, the UniFabric runtime); the [`Fea`] terminates the fabric at
+//! a device implementing [`Endpoint`].
+
+use std::collections::{HashMap, VecDeque};
+
+use fcc_proto::addr::{AddrMap, NodeId};
+use fcc_proto::channel::{MemOpcode, Transaction, TransactionKind};
+use fcc_proto::flit::{flits_for_transfer, FlitPayload};
+use fcc_proto::link::CreditConfig;
+use fcc_proto::phys::PhysConfig;
+use fcc_sim::{Component, ComponentId, Counter, Ctx, Histogram, Msg, SimTime};
+
+use crate::endpoint::Endpoint;
+use crate::port::{FlitMsg, LinkPort, PortEvent};
+
+/// A host-side memory operation submitted to an [`Fha`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostOp {
+    /// Read `bytes` from host physical address `addr`.
+    Read {
+        /// Host physical address.
+        addr: u64,
+        /// Transfer size.
+        bytes: u32,
+    },
+    /// Write `bytes` to host physical address `addr`.
+    Write {
+        /// Host physical address.
+        addr: u64,
+        /// Transfer size.
+        bytes: u32,
+    },
+    /// A CXL.cache coherent request (to a CC-NUMA directory node).
+    Cache {
+        /// The cache opcode (`RdShared`, `RdOwn`, `DirtyEvict`, …).
+        op: fcc_proto::channel::CacheOpcode,
+        /// Host physical address.
+        addr: u64,
+        /// Payload size (64 for line transfers, 0 for control).
+        bytes: u32,
+    },
+}
+
+impl HostOp {
+    /// The target address.
+    pub fn addr(self) -> u64 {
+        match self {
+            HostOp::Read { addr, .. } | HostOp::Write { addr, .. } | HostOp::Cache { addr, .. } => {
+                addr
+            }
+        }
+    }
+
+    /// The transfer size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            HostOp::Read { bytes, .. }
+            | HostOp::Write { bytes, .. }
+            | HostOp::Cache { bytes, .. } => bytes,
+        }
+    }
+
+    /// Whether the completion returns data to the host.
+    pub fn is_read(self) -> bool {
+        match self {
+            HostOp::Read { .. } => true,
+            HostOp::Write { .. } => false,
+            HostOp::Cache { op, .. } => matches!(
+                op,
+                fcc_proto::channel::CacheOpcode::RdCurr
+                    | fcc_proto::channel::CacheOpcode::RdOwn
+                    | fcc_proto::channel::CacheOpcode::RdShared
+            ),
+        }
+    }
+}
+
+/// A request message accepted by the [`Fha`].
+#[derive(Debug, Clone, Copy)]
+pub struct HostRequest {
+    /// The operation.
+    pub op: HostOp,
+    /// Caller-chosen tag echoed in the completion.
+    pub tag: u64,
+    /// Component to notify on completion.
+    pub reply_to: ComponentId,
+}
+
+/// Completion notification for a [`HostRequest`].
+#[derive(Debug, Clone, Copy)]
+pub struct HostCompletion {
+    /// The request's tag.
+    pub tag: u64,
+    /// When the FHA accepted the request.
+    pub issued_at: SimTime,
+    /// When the last response flit arrived.
+    pub completed_at: SimTime,
+    /// Whether the operation was a read.
+    pub was_read: bool,
+}
+
+impl HostCompletion {
+    /// End-to-end latency of the operation.
+    pub fn latency(&self) -> SimTime {
+        self.completed_at - self.issued_at
+    }
+}
+
+/// An unsolicited request (e.g. a coherence snoop from a CC-NUMA
+/// directory) that arrived at an [`Fha`]; forwarded to the registered
+/// snoop handler.
+#[derive(Debug, Clone)]
+pub struct SnoopMsg {
+    /// The arriving request.
+    pub txn: Transaction,
+}
+
+/// A handler's answer to a [`SnoopMsg`], sent back through the [`Fha`].
+#[derive(Debug, Clone)]
+pub struct SnoopReply {
+    /// The response transaction (endpoints already swapped).
+    pub txn: Transaction,
+}
+
+/// Identification probe from the fabric manager.
+#[derive(Debug, Clone, Copy)]
+pub struct IdentifyReq {
+    /// Where to send the [`IdentifyRsp`].
+    pub reply_to: ComponentId,
+}
+
+/// Identification answer.
+#[derive(Debug, Clone, Copy)]
+pub struct IdentifyRsp {
+    /// The responding component.
+    pub component: ComponentId,
+    /// Its fabric node id.
+    pub node: NodeId,
+    /// Whether the component is a host adapter (vs. endpoint adapter).
+    pub is_host: bool,
+}
+
+#[derive(Debug)]
+struct PendingReq {
+    tag: u64,
+    reply_to: ComponentId,
+    issued_at: SimTime,
+    is_read: bool,
+    slots_expected: u64,
+    slots_got: u64,
+    header_got: bool,
+}
+
+/// The Fabric Host Adapter: converts host requests into fabric flits and
+/// matches responses back to completions.
+pub struct Fha {
+    node: NodeId,
+    port: LinkPort,
+    addr_map: AddrMap,
+    max_outstanding: usize,
+    next_txn: u64,
+    outstanding: HashMap<u64, PendingReq>,
+    waitq: VecDeque<(HostRequest, SimTime)>,
+    snoop_handler: Option<ComponentId>,
+    /// Completed operations.
+    pub completions: Counter,
+    /// End-to-end latency distribution (ps).
+    pub latency: Histogram,
+    /// Unsolicited requests forwarded to the snoop handler.
+    pub snoops: Counter,
+}
+
+impl Fha {
+    /// Creates a host adapter.
+    ///
+    /// `max_outstanding` models the depth of the core's load/store window
+    /// toward the fabric: "the throughput of a memory fabric that a core
+    /// can drive depends on its channel bandwidth capacity and the depth of
+    /// the CPU pipeline" (§3 D#1).
+    pub fn new(
+        node: NodeId,
+        phys: PhysConfig,
+        credit: CreditConfig,
+        addr_map: AddrMap,
+        max_outstanding: usize,
+    ) -> Self {
+        Fha {
+            node,
+            port: LinkPort::new(phys, credit),
+            addr_map,
+            max_outstanding: max_outstanding.max(1),
+            next_txn: 0,
+            outstanding: HashMap::new(),
+            waitq: VecDeque::new(),
+            snoop_handler: None,
+            completions: Counter::new(),
+            latency: Histogram::new(),
+            snoops: Counter::new(),
+        }
+    }
+
+    /// Registers the component that answers unsolicited requests (snoops)
+    /// arriving at this host.
+    pub fn set_snoop_handler(&mut self, handler: ComponentId) {
+        self.snoop_handler = Some(handler);
+    }
+
+    /// This adapter's fabric node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Connects the adapter's port to its peer (switch or FEA).
+    pub fn connect(&mut self, peer: ComponentId) {
+        self.port.connect(peer);
+    }
+
+    /// The link port (probes).
+    pub fn port(&self) -> &LinkPort {
+        &self.port
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Requests queued behind the outstanding window.
+    pub fn queued(&self) -> usize {
+        self.waitq.len()
+    }
+
+    fn alloc_txn_id(&mut self) -> u64 {
+        let id = ((self.node.0 as u64) << 48) | self.next_txn;
+        self.next_txn += 1;
+        id
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, req: HostRequest, issued_at: SimTime) {
+        let decoded = self
+            .addr_map
+            .decode(req.op.addr())
+            .unwrap_or_else(|| panic!("unmapped fabric address {:#x}", req.op.addr()));
+        let id = self.alloc_txn_id();
+        let mode = self.port.phys.flit_mode;
+        let (kind, slots_out, slots_expected) = match req.op {
+            HostOp::Read { bytes, .. } => (
+                TransactionKind::Mem(MemOpcode::MemRd),
+                0,
+                flits_for_transfer(mode, bytes as u64),
+            ),
+            HostOp::Write { bytes, .. } => (
+                TransactionKind::Mem(MemOpcode::MemWr),
+                flits_for_transfer(mode, bytes as u64),
+                0,
+            ),
+            HostOp::Cache { op, bytes, .. } => {
+                let kind = TransactionKind::Cache(op);
+                let out = if kind.carries_data() && bytes > 0 {
+                    flits_for_transfer(mode, bytes as u64)
+                } else {
+                    0
+                };
+                let expect = if req.op.is_read() {
+                    flits_for_transfer(mode, bytes.max(64) as u64)
+                } else {
+                    0
+                };
+                (kind, out, expect)
+            }
+        };
+        let txn = Transaction {
+            id,
+            kind,
+            addr: decoded.dpa,
+            bytes: req.op.bytes(),
+            src: self.node,
+            dst: decoded.node,
+        };
+        self.outstanding.insert(
+            id,
+            PendingReq {
+                tag: req.tag,
+                reply_to: req.reply_to,
+                issued_at,
+                is_read: req.op.is_read(),
+                slots_expected,
+                slots_got: 0,
+                header_got: false,
+            },
+        );
+        self.port.enqueue(ctx, FlitPayload::Transaction(txn));
+        for slot in 0..slots_out {
+            self.port.enqueue(
+                ctx,
+                FlitPayload::Data {
+                    txn_id: id,
+                    slot: slot as u32,
+                    src: self.node,
+                    dst: decoded.node,
+                },
+            );
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let pending = self
+            .outstanding
+            .remove(&id)
+            .expect("completing unknown txn");
+        let completion = HostCompletion {
+            tag: pending.tag,
+            issued_at: pending.issued_at,
+            completed_at: ctx.now(),
+            was_read: pending.is_read,
+        };
+        self.completions.inc();
+        self.latency.record_time(completion.latency());
+        ctx.send(pending.reply_to, SimTime::ZERO, completion);
+        // Admit a waiting request, if any; its latency clock started when it
+        // entered the wait queue, so window stalls show up in the histogram.
+        if let Some((req, queued_at)) = self.waitq.pop_front() {
+            self.issue(ctx, req, queued_at);
+        }
+    }
+
+    fn on_payload(&mut self, ctx: &mut Ctx<'_>, payload: FlitPayload) {
+        let class = payload.msg_class();
+        // The host pipeline drains responses immediately.
+        self.port.release(ctx, class);
+        match payload {
+            FlitPayload::Transaction(txn) => {
+                let id = txn.id;
+                if !txn.kind.is_response() {
+                    // Unsolicited request: a snoop from a coherence
+                    // directory. Forward to the host's coherent agent.
+                    self.snoops.inc();
+                    if let Some(handler) = self.snoop_handler {
+                        ctx.send(handler, SimTime::ZERO, SnoopMsg { txn });
+                    }
+                    return;
+                }
+                let Some(pending) = self.outstanding.get_mut(&id) else {
+                    return;
+                };
+                pending.header_got = true;
+                let done = pending.slots_got >= pending.slots_expected;
+                // Writes complete on Cmp; reads on header + all data slots.
+                if !pending.is_read || done {
+                    self.complete(ctx, id);
+                }
+            }
+            FlitPayload::Data { txn_id, .. } => {
+                let Some(pending) = self.outstanding.get_mut(&txn_id) else {
+                    return;
+                };
+                pending.slots_got += 1;
+                if pending.header_got && pending.slots_got >= pending.slots_expected {
+                    self.complete(ctx, txn_id);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Component for Fha {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<HostRequest>() {
+            Ok(req) => {
+                if self.outstanding.len() < self.max_outstanding {
+                    self.issue(ctx, req, ctx.now());
+                } else {
+                    self.waitq.push_back((req, ctx.now()));
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<FlitMsg>() {
+            Ok(fm) => {
+                match self.port.receive(ctx, fm) {
+                    PortEvent::Delivered(payload) => self.on_payload(ctx, payload),
+                    PortEvent::CreditFreed | PortEvent::Quiet => {}
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SnoopReply>() {
+            Ok(reply) => {
+                let txn = reply.txn;
+                let slots = if txn.kind.carries_data() && txn.bytes > 0 {
+                    flits_for_transfer(self.port.phys.flit_mode, txn.bytes as u64)
+                } else {
+                    0
+                };
+                let (id, src, dst) = (txn.id, txn.src, txn.dst);
+                self.port.enqueue(ctx, FlitPayload::Transaction(txn));
+                for slot in 0..slots {
+                    self.port.enqueue(
+                        ctx,
+                        FlitPayload::Data {
+                            txn_id: id,
+                            slot: slot as u32,
+                            src,
+                            dst,
+                        },
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<IdentifyReq>() {
+            Ok(req) => {
+                let rsp = IdentifyRsp {
+                    component: ctx.self_id(),
+                    node: self.node,
+                    is_host: true,
+                };
+                ctx.send(req.reply_to, SimTime::from_ns(100.0), rsp);
+            }
+            Err(m) => panic!("fha: unexpected message {}", m.type_name()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Reassembly {
+    txn: Transaction,
+    slots_needed: u64,
+    slots_got: u64,
+}
+
+/// The Fabric Endpoint Adapter: terminates the fabric at a device.
+///
+/// The FEA admits at most `queue_depth` transactions into the device at a
+/// time; a request beyond that *holds its ingress buffer credit*, so a
+/// slow device backpressures through the fabric (the paper's credit
+/// back-propagation, §3 D#3).
+pub struct Fea {
+    node: NodeId,
+    port: LinkPort,
+    device: Box<dyn Endpoint>,
+    reassembly: HashMap<u64, Reassembly>,
+    queue_depth: usize,
+    in_service: usize,
+    waiting: VecDeque<Transaction>,
+    /// Transactions serviced by the device.
+    pub serviced: Counter,
+}
+
+/// Self-message: the device finished an access; the response (if any) may
+/// enter the fabric and the next waiting request may be admitted.
+#[derive(Debug)]
+struct ResponseDue {
+    txn: Option<Transaction>,
+    slots: u64,
+}
+
+impl Fea {
+    /// Creates an endpoint adapter around `device` with a deep (32-entry)
+    /// device admission queue.
+    pub fn new(
+        node: NodeId,
+        phys: PhysConfig,
+        credit: CreditConfig,
+        device: Box<dyn Endpoint>,
+    ) -> Self {
+        Self::with_queue_depth(node, phys, credit, device, 32)
+    }
+
+    /// Creates an endpoint adapter with an explicit device admission queue
+    /// depth (small depths make slow devices backpressure the fabric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn with_queue_depth(
+        node: NodeId,
+        phys: PhysConfig,
+        credit: CreditConfig,
+        device: Box<dyn Endpoint>,
+        queue_depth: usize,
+    ) -> Self {
+        assert!(queue_depth > 0, "need at least one admission slot");
+        Fea {
+            node,
+            port: LinkPort::new(phys, credit),
+            device,
+            reassembly: HashMap::new(),
+            queue_depth,
+            in_service: 0,
+            waiting: VecDeque::new(),
+            serviced: Counter::new(),
+        }
+    }
+
+    /// This adapter's fabric node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Connects the adapter's port to its peer (switch or FHA).
+    pub fn connect(&mut self, peer: ComponentId) {
+        self.port.connect(peer);
+    }
+
+    /// The link port (probes).
+    pub fn port(&self) -> &LinkPort {
+        &self.port
+    }
+
+    /// Immutable access to the device.
+    pub fn device(&self) -> &dyn Endpoint {
+        self.device.as_ref()
+    }
+
+    /// Replaces the device admission-queue depth (experiments shrink it
+    /// so slow devices backpressure the fabric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn set_queue_depth(&mut self, depth: usize) {
+        assert!(depth > 0, "need at least one admission slot");
+        self.queue_depth = depth;
+    }
+
+    /// Admits a fully-reassembled transaction: starts device service if a
+    /// slot is free (releasing the request's ingress credit), otherwise
+    /// parks it *still holding the credit* so upstream backpressure forms.
+    fn try_admit(&mut self, ctx: &mut Ctx<'_>, txn: Transaction) {
+        if self.in_service < self.queue_depth {
+            self.in_service += 1;
+            self.port.release(ctx, txn.kind.msg_class());
+            self.service_now(ctx, txn);
+        } else {
+            self.waiting.push_back(txn);
+        }
+    }
+
+    fn service_now(&mut self, ctx: &mut Ctx<'_>, txn: Transaction) {
+        let rsp = self.device.service(&txn, ctx.now());
+        self.serviced.inc();
+        let delay = rsp.ready_at - ctx.now();
+        let (response, slots) = match rsp.kind {
+            Some(kind) => {
+                let slots = if kind.carries_data() && rsp.bytes > 0 {
+                    flits_for_transfer(self.port.phys.flit_mode, rsp.bytes as u64)
+                } else {
+                    0
+                };
+                (Some(txn.response(kind, rsp.bytes)), slots)
+            }
+            None => (None, 0),
+        };
+        ctx.send_self(
+            delay,
+            ResponseDue {
+                txn: response,
+                slots,
+            },
+        );
+    }
+
+    fn on_payload(&mut self, ctx: &mut Ctx<'_>, payload: FlitPayload) {
+        match payload {
+            FlitPayload::Transaction(txn) => {
+                let mode = self.port.phys.flit_mode;
+                if txn.kind.carries_data() && txn.bytes > 0 {
+                    let needed = flits_for_transfer(mode, txn.bytes as u64);
+                    self.reassembly.insert(
+                        txn.id,
+                        Reassembly {
+                            txn,
+                            slots_needed: needed,
+                            slots_got: 0,
+                        },
+                    );
+                } else {
+                    // The request's credit is held until device admission.
+                    self.try_admit(ctx, txn);
+                }
+            }
+            FlitPayload::Data { txn_id, .. } => {
+                // Data slots drain into the reassembly buffer immediately.
+                self.port.release(
+                    ctx,
+                    FlitPayload::Data {
+                        txn_id,
+                        slot: 0,
+                        src: self.node,
+                        dst: self.node,
+                    }
+                    .msg_class(),
+                );
+                let done = {
+                    let Some(r) = self.reassembly.get_mut(&txn_id) else {
+                        return;
+                    };
+                    r.slots_got += 1;
+                    r.slots_got >= r.slots_needed
+                };
+                if done {
+                    let r = self.reassembly.remove(&txn_id).expect("present");
+                    self.try_admit(ctx, r.txn);
+                }
+            }
+            other => {
+                self.port.release(ctx, other.msg_class());
+            }
+        }
+    }
+}
+
+impl Component for Fea {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<FlitMsg>() {
+            Ok(fm) => {
+                match self.port.receive(ctx, fm) {
+                    PortEvent::Delivered(payload) => self.on_payload(ctx, payload),
+                    PortEvent::CreditFreed | PortEvent::Quiet => {}
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ResponseDue>() {
+            Ok(due) => {
+                if let Some(txn) = due.txn {
+                    let (id, src, dst) = (txn.id, txn.src, txn.dst);
+                    self.port.enqueue(ctx, FlitPayload::Transaction(txn));
+                    for slot in 0..due.slots {
+                        self.port.enqueue(
+                            ctx,
+                            FlitPayload::Data {
+                                txn_id: id,
+                                slot: slot as u32,
+                                src,
+                                dst,
+                            },
+                        );
+                    }
+                }
+                // Free the device slot and admit the next waiter.
+                self.in_service = self.in_service.saturating_sub(1);
+                if let Some(next) = self.waiting.pop_front() {
+                    self.in_service += 1;
+                    self.port.release(ctx, next.kind.msg_class());
+                    self.service_now(ctx, next);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<IdentifyReq>() {
+            Ok(req) => {
+                let rsp = IdentifyRsp {
+                    component: ctx.self_id(),
+                    node: self.node,
+                    is_host: false,
+                };
+                ctx.send(req.reply_to, SimTime::from_ns(100.0), rsp);
+            }
+            Err(m) => panic!("fea: unexpected message {}", m.type_name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fcc_proto::addr::AddrRange;
+    use fcc_sim::Engine;
+
+    use super::*;
+    use crate::endpoint::FixedLatencyMemory;
+
+    /// Collects completions for assertions.
+    struct Sink {
+        done: Vec<HostCompletion>,
+    }
+
+    impl Component for Sink {
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+            self.done
+                .push(msg.downcast::<HostCompletion>().expect("completion"));
+        }
+    }
+
+    /// Builds host ↔ device directly attached (no switch).
+    fn direct_pair(
+        engine: &mut Engine,
+        read_ns: f64,
+        write_ns: f64,
+        max_outstanding: usize,
+    ) -> (ComponentId, ComponentId, ComponentId) {
+        let phys = PhysConfig::omega_like();
+        let credit = CreditConfig::default();
+        let host_node = NodeId(1);
+        let dev_node = NodeId(2);
+        let mut map = AddrMap::new();
+        map.add_direct(AddrRange::new(0, 1 << 30), dev_node);
+        let fha = engine.add_component(
+            "fha",
+            Fha::new(host_node, phys, credit, map, max_outstanding),
+        );
+        let dev = FixedLatencyMemory::new(
+            SimTime::from_ns(read_ns),
+            SimTime::from_ns(write_ns),
+            1 << 30,
+        );
+        let fea = engine.add_component("fea", Fea::new(dev_node, phys, credit, Box::new(dev)));
+        engine.component_mut::<Fha>(fha).connect(fea);
+        engine.component_mut::<Fea>(fea).connect(fha);
+        let sink = engine.add_component("sink", Sink { done: vec![] });
+        (fha, fea, sink)
+    }
+
+    #[test]
+    fn read_round_trip_latency_adds_up() {
+        let mut engine = Engine::new(3);
+        let (fha, _fea, sink) = direct_pair(&mut engine, 100.0, 100.0, 8);
+        engine.post(
+            fha,
+            SimTime::ZERO,
+            HostRequest {
+                op: HostOp::Read {
+                    addr: 0x1000,
+                    bytes: 64,
+                },
+                tag: 1,
+                reply_to: sink,
+            },
+        );
+        engine.run_until_idle();
+        let done = &engine.component::<Sink>(sink).done;
+        assert_eq!(done.len(), 1);
+        let lat = done[0].latency();
+        let phys = PhysConfig::omega_like();
+        // Request flit out + device 100ns + response header + data slot back.
+        let one_way = phys.flit_serialization() + phys.propagation;
+        let min = one_way * 2 + SimTime::from_ns(100.0);
+        assert!(lat >= min, "latency {lat} < floor {min}");
+        assert!(lat < min + SimTime::from_ns(20.0), "latency {lat} too high");
+        assert!(done[0].was_read);
+    }
+
+    #[test]
+    fn write_completes_on_cmp() {
+        let mut engine = Engine::new(3);
+        let (fha, fea, sink) = direct_pair(&mut engine, 100.0, 40.0, 8);
+        engine.post(
+            fha,
+            SimTime::ZERO,
+            HostRequest {
+                op: HostOp::Write {
+                    addr: 0x2000,
+                    bytes: 64,
+                },
+                tag: 7,
+                reply_to: sink,
+            },
+        );
+        engine.run_until_idle();
+        let done = &engine.component::<Sink>(sink).done;
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].was_read);
+        let fea_ref = engine.component::<Fea>(fea);
+        assert_eq!(fea_ref.serviced.get(), 1);
+    }
+
+    #[test]
+    fn outstanding_window_throttles_issue() {
+        let mut engine = Engine::new(3);
+        let (fha, _fea, sink) = direct_pair(&mut engine, 100.0, 100.0, 2);
+        for i in 0..6 {
+            engine.post(
+                fha,
+                SimTime::ZERO,
+                HostRequest {
+                    op: HostOp::Read {
+                        addr: i * 64,
+                        bytes: 64,
+                    },
+                    tag: i,
+                    reply_to: sink,
+                },
+            );
+        }
+        // Immediately after issue, only 2 in flight, 4 queued.
+        engine.call_at(SimTime::from_ps(1), move |e| {
+            let f = e.component::<Fha>(fha);
+            assert_eq!(f.in_flight(), 2);
+            assert_eq!(f.queued(), 4);
+        });
+        engine.run_until_idle();
+        let done = &engine.component::<Sink>(sink).done;
+        assert_eq!(done.len(), 6);
+        // With a window of 2 and a 100ns serial device, the last completion
+        // is no earlier than 3 * (2 serialized reads) behind the first...
+        // simpler invariant: completions are spread over ≥ 6 * 100ns of
+        // device time because the device is serial.
+        let last = done.iter().map(|c| c.completed_at).max().expect("some");
+        assert!(last >= SimTime::from_ns(600.0));
+    }
+
+    #[test]
+    fn large_read_streams_data_slots() {
+        let mut engine = Engine::new(3);
+        let (fha, _fea, sink) = direct_pair(&mut engine, 100.0, 100.0, 8);
+        engine.post(
+            fha,
+            SimTime::ZERO,
+            HostRequest {
+                op: HostOp::Read {
+                    addr: 0,
+                    bytes: 16384,
+                },
+                tag: 1,
+                reply_to: sink,
+            },
+        );
+        engine.run_until_idle();
+        let done = &engine.component::<Sink>(sink).done;
+        assert_eq!(done.len(), 1);
+        // 16 KiB = 256 data flits at ~1.08ns each ≈ 278ns of wire, plus
+        // device and propagation: must be well above the 64B case.
+        assert!(done[0].latency() > SimTime::from_ns(350.0));
+    }
+
+    #[test]
+    fn txn_ids_are_globally_unique_per_node() {
+        let phys = PhysConfig::omega_like();
+        let mut map = AddrMap::new();
+        map.add_direct(AddrRange::new(0, 4096), NodeId(9));
+        let mut a = Fha::new(NodeId(1), phys, CreditConfig::default(), map.clone(), 4);
+        let mut b = Fha::new(NodeId(2), phys, CreditConfig::default(), map, 4);
+        let ia = a.alloc_txn_id();
+        let ib = b.alloc_txn_id();
+        assert_ne!(ia, ib);
+        assert_eq!(ia >> 48, 1);
+        assert_eq!(ib >> 48, 2);
+    }
+}

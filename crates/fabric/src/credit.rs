@@ -1,0 +1,224 @@
+//! Egress credit allocation policies for the fabric switch.
+//!
+//! §3 D#3 of the paper identifies three unexploited problems in
+//! credit-based flow control over routable PCIe. This module implements the
+//! mechanism under critique and its alternatives, so the experiments can
+//! reproduce the pathologies and show the FCC remedy:
+//!
+//! * **Credit allocation** — "the de facto scheme is an exponential
+//!   ramp-up approach based on port bandwidth utilization. A consistently
+//!   heavily-used port would take more credits, leaving little room for
+//!   other contending ports." [`AllocPolicy::RampUp`] implements that
+//!   scheme; [`AllocPolicy::Fair`] is the static-equal baseline, and
+//!   [`AllocPolicy::Arbitrated`] defers to reservations installed by the
+//!   central arbiter (design principle #4).
+//! * The **scheduling** and **coordination** pathologies are exercised by
+//!   the switch queue discipline and multi-switch topologies respectively
+//!   (see `switch.rs` and experiment E3d/E3e).
+
+use serde::{Deserialize, Serialize};
+
+use fcc_sim::SimTime;
+
+/// How an output port's scarce downstream credits are divided among
+/// competing input ports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AllocPolicy {
+    /// Round-robin, equal shares. No history.
+    Fair,
+    /// Exponential ramp-up on utilization (Kung et al. \[56\], the de facto
+    /// scheme): an input that fully uses its allocation doubles it next
+    /// window; an underusing input halves. Grants come from a shared
+    /// credit pool, richest first — so a hot port's grown allocation
+    /// leaves "little room for other contending ports" (§3 D#3).
+    RampUp {
+        /// Allocation adjustment window.
+        window: SimTime,
+        /// Initial and minimum desired per-input allocation (flits/window).
+        floor: u32,
+        /// Maximum per-input allocation (flits per window).
+        ceiling: u32,
+        /// Total flits grantable per window across all inputs.
+        pool: u32,
+    },
+    /// Reservations installed by the central fabric arbiter; unreserved
+    /// traffic shares the remainder round-robin.
+    Arbitrated,
+}
+
+impl AllocPolicy {
+    /// A ramp-up policy with the defaults used in the experiments: the
+    /// pool matches roughly one window of device service capacity.
+    pub fn default_ramp_up() -> Self {
+        AllocPolicy::RampUp {
+            window: SimTime::from_us(1.0),
+            floor: 2,
+            ceiling: 4096,
+            pool: 32,
+        }
+    }
+}
+
+/// Per-output ramp-up allocator state.
+#[derive(Debug, Clone)]
+pub struct RampUpState {
+    floor: u32,
+    ceiling: u32,
+    pool: u32,
+    /// Desired allocation per input (exponential ramp target).
+    desired: Vec<u32>,
+    /// Current granted allocation per input port (flits per window).
+    alloc: Vec<u32>,
+    /// Flits forwarded per input port in the current window.
+    used: Vec<u32>,
+}
+
+impl RampUpState {
+    /// Creates state for `inputs` input ports sharing `pool` flits/window.
+    pub fn new(inputs: usize, floor: u32, ceiling: u32, pool: u32) -> Self {
+        let floor = floor.max(1);
+        let mut s = RampUpState {
+            floor,
+            ceiling: ceiling.max(floor),
+            pool: pool.max(1),
+            desired: vec![floor; inputs],
+            alloc: vec![0; inputs],
+            used: vec![0; inputs],
+        };
+        s.grant();
+        s
+    }
+
+    /// Distributes the pool: richest desired allocation first (the de
+    /// facto scheme's bias), everyone else takes what remains (min 1).
+    fn grant(&mut self) {
+        let mut order: Vec<usize> = (0..self.desired.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.desired[i]));
+        let mut remaining = self.pool;
+        for i in order {
+            let granted = self.desired[i].min(remaining);
+            let granted = granted.max(1);
+            self.alloc[i] = granted;
+            remaining = remaining.saturating_sub(granted);
+        }
+    }
+
+    /// Whether input `i` may forward another flit this window.
+    pub fn may_send(&self, i: usize) -> bool {
+        self.used[i] < self.alloc[i]
+    }
+
+    /// Records a forwarded flit from input `i`.
+    pub fn on_send(&mut self, i: usize) {
+        self.used[i] += 1;
+    }
+
+    /// Window rollover: an input that used at least its *desired*
+    /// allocation doubles it; everyone else halves. Growth therefore
+    /// requires demonstrated utilization — which requires credits — which
+    /// a camped-on pool never hands back: the paper's pathology.
+    pub fn rollover(&mut self) {
+        for (desired, used) in self.desired.iter_mut().zip(self.used.iter_mut()) {
+            if *used >= *desired && *used > 0 {
+                *desired = (desired.saturating_mul(2)).min(self.ceiling);
+            } else {
+                *desired = (*desired / 2).max(self.floor);
+            }
+            *used = 0;
+        }
+        self.grant();
+    }
+
+    /// Current allocation vector (for fairness probes).
+    pub fn allocations(&self) -> &[u32] {
+        &self.alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fcc_sim::jain_fairness;
+
+    use super::*;
+
+    #[test]
+    fn hot_input_grows_idle_input_stays_at_floor() {
+        let mut s = RampUpState::new(2, 2, 64, 64);
+        for _round in 0..8 {
+            // Input 0 always saturates its allocation; input 1 is idle.
+            while s.may_send(0) {
+                s.on_send(0);
+            }
+            s.rollover();
+        }
+        assert!(s.allocations()[0] >= 60, "hot port took the pool");
+        assert!(s.allocations()[1] <= 2, "idle port pinned at floor");
+    }
+
+    #[test]
+    fn hot_port_leaves_little_room_for_late_contenders() {
+        let mut s = RampUpState::new(4, 2, 1024, 32);
+        // Input 0 hogs alone for 10 windows; its desired allocation grows
+        // past the pool size.
+        for _ in 0..10 {
+            while s.may_send(0) {
+                s.on_send(0);
+            }
+            s.rollover();
+        }
+        // Late contenders now demand service, but the pool is spoken for.
+        for _ in 0..3 {
+            for i in 0..4 {
+                while s.may_send(i) {
+                    s.on_send(i);
+                }
+            }
+            s.rollover();
+        }
+        let allocs: Vec<f64> = s.allocations().iter().map(|&a| a as f64).collect();
+        let fairness = jain_fairness(&allocs);
+        assert!(
+            fairness < 0.5,
+            "ramp-up should be grossly unfair, Jain={fairness}, allocs {allocs:?}"
+        );
+        assert!(allocs[0] > allocs[1] * 4.0);
+    }
+
+    #[test]
+    fn recovery_takes_log_windows() {
+        let mut s = RampUpState::new(1, 2, 256, 1024);
+        // Ramp to ceiling.
+        for _ in 0..10 {
+            while s.may_send(0) {
+                s.on_send(0);
+            }
+            s.rollover();
+        }
+        assert_eq!(s.allocations()[0], 256);
+        // Go idle: allocation decays geometrically, not instantly.
+        s.rollover();
+        assert_eq!(s.allocations()[0], 128);
+        for _ in 0..10 {
+            s.rollover();
+        }
+        assert_eq!(s.allocations()[0], 2);
+    }
+
+    #[test]
+    fn may_send_respects_allocation() {
+        let mut s = RampUpState::new(1, 3, 8, 16);
+        assert!(s.may_send(0));
+        s.on_send(0);
+        s.on_send(0);
+        s.on_send(0);
+        assert!(!s.may_send(0));
+    }
+
+    #[test]
+    fn grants_never_exceed_pool_by_more_than_min_guarantees() {
+        let s = RampUpState::new(8, 4, 64, 16);
+        let total: u32 = s.allocations().iter().sum();
+        // Everyone gets at least 1; pool bounds the rest.
+        assert!(total <= 16 + 8);
+    }
+}

@@ -1,0 +1,384 @@
+//! The device behind a Fabric Endpoint Adapter.
+//!
+//! An FEA "stays close to the remote device, operating as a target
+//! responder, responsible for fabric protocol processing and converting
+//! between the fabric packets and device-dependent primitives" (§2.2).
+//! The conversion target is this [`Endpoint`] trait; `fcc-memnode`
+//! implements realistic DRAM devices, and [`FixedLatencyMemory`] provides a
+//! simple device for tests and calibration.
+
+use fcc_proto::channel::{MemOpcode, Transaction, TransactionKind};
+use fcc_sim::SimTime;
+
+/// A device's answer to one transaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndpointResponse {
+    /// Response opcode to send back, if any (posted writes may be silent,
+    /// but CXL.mem completes writes with `Cmp`).
+    pub kind: Option<TransactionKind>,
+    /// Payload bytes of the response (reads return the request size).
+    pub bytes: u32,
+    /// Absolute time at which the device has finished the access and the
+    /// response may start back into the fabric.
+    pub ready_at: SimTime,
+}
+
+/// A device reachable through an FEA: memory module, accelerator, etc.
+pub trait Endpoint: 'static {
+    /// Accepts a transaction at `now` (the time the FEA finished
+    /// reassembling it) and returns the device's response.
+    fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse;
+
+    /// Device capacity in bytes (0 for non-memory devices).
+    fn capacity(&self) -> u64 {
+        0
+    }
+}
+
+/// A memory device with fixed read/write service times and a single
+/// internal port (accesses serialize).
+///
+/// Useful for calibration: the service time is exactly what you configure,
+/// so fabric overheads can be measured by subtraction.
+#[derive(Debug, Clone)]
+pub struct FixedLatencyMemory {
+    /// Time to service a read once the device is free.
+    pub read_latency: SimTime,
+    /// Time to service a write once the device is free.
+    pub write_latency: SimTime,
+    /// Device capacity in bytes.
+    pub capacity: u64,
+    busy_until: SimTime,
+    reads: u64,
+    writes: u64,
+}
+
+impl FixedLatencyMemory {
+    /// Creates a device with the given service times and capacity.
+    pub fn new(read_latency: SimTime, write_latency: SimTime, capacity: u64) -> Self {
+        FixedLatencyMemory {
+            read_latency,
+            write_latency,
+            capacity,
+            busy_until: SimTime::ZERO,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Total reads serviced.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes serviced.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl Endpoint for FixedLatencyMemory {
+    fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse {
+        let start = self.busy_until.max(now);
+        match txn.kind {
+            TransactionKind::Mem(op) if op.carries_data() => {
+                // Writes: MemWr / MemWrPtl.
+                self.writes += 1;
+                self.busy_until = start + self.write_latency;
+                EndpointResponse {
+                    kind: Some(TransactionKind::Mem(MemOpcode::Cmp)),
+                    bytes: 0,
+                    ready_at: self.busy_until,
+                }
+            }
+            TransactionKind::Mem(_) => {
+                self.reads += 1;
+                self.busy_until = start + self.read_latency;
+                EndpointResponse {
+                    kind: Some(TransactionKind::Mem(MemOpcode::MemData)),
+                    bytes: txn.bytes.max(64),
+                    ready_at: self.busy_until,
+                }
+            }
+            TransactionKind::Io(op) => {
+                let (kind, bytes, lat) = match op {
+                    fcc_proto::channel::IoOpcode::MemRead => (
+                        Some(TransactionKind::Io(
+                            fcc_proto::channel::IoOpcode::Completion,
+                        )),
+                        txn.bytes.max(4),
+                        self.read_latency,
+                    ),
+                    _ => (None, 0, self.write_latency),
+                };
+                if kind.is_some() {
+                    self.reads += 1;
+                } else {
+                    self.writes += 1;
+                }
+                self.busy_until = start + lat;
+                EndpointResponse {
+                    kind,
+                    bytes,
+                    ready_at: self.busy_until,
+                }
+            }
+            TransactionKind::Cache(_) => {
+                // A plain expander does not speak CXL.cache; treat as a
+                // read-current of the backing line.
+                self.reads += 1;
+                self.busy_until = start + self.read_latency;
+                EndpointResponse {
+                    kind: Some(TransactionKind::Cache(
+                        fcc_proto::channel::CacheOpcode::Data,
+                    )),
+                    bytes: 64,
+                    ready_at: self.busy_until,
+                }
+            }
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+/// A pipelined memory device: fixed access latency, but overlapping
+/// accesses are admitted every `min_gap` (a banked controller front-end).
+///
+/// Peak throughput is `1/min_gap` while each access still takes
+/// `latency` end to end — the combination the Omega FAM exhibits in
+/// Table 2 (1575 ns latency yet 2.5 MOPS with a few outstanding loads).
+#[derive(Debug, Clone)]
+pub struct PipelinedMemory {
+    /// Per-access service latency once admitted.
+    pub read_latency: SimTime,
+    /// Per-access write latency once admitted.
+    pub write_latency: SimTime,
+    /// Admission spacing (1 / peak throughput) for a minimal access.
+    pub min_gap: SimTime,
+    /// Additional occupancy per payload byte (ns/B); large transfers hold
+    /// the controller proportionally longer.
+    pub gap_per_byte_ns: f64,
+    /// Device capacity.
+    pub capacity: u64,
+    next_admit: SimTime,
+    accesses: u64,
+}
+
+impl PipelinedMemory {
+    /// Creates the device (no per-byte occupancy).
+    pub fn new(
+        read_latency: SimTime,
+        write_latency: SimTime,
+        min_gap: SimTime,
+        capacity: u64,
+    ) -> Self {
+        PipelinedMemory {
+            read_latency,
+            write_latency,
+            min_gap,
+            gap_per_byte_ns: 0.0,
+            capacity,
+            next_admit: SimTime::ZERO,
+            accesses: 0,
+        }
+    }
+
+    /// Sets byte-proportional controller occupancy.
+    pub fn with_gap_per_byte(mut self, ns_per_byte: f64) -> Self {
+        self.gap_per_byte_ns = ns_per_byte;
+        self
+    }
+
+    /// Total accesses serviced.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+impl Endpoint for PipelinedMemory {
+    fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse {
+        self.accesses += 1;
+        let admit = self.next_admit.max(now);
+        let occupancy =
+            self.min_gap + SimTime::from_ns(self.gap_per_byte_ns * txn.bytes.max(64) as f64);
+        self.next_admit = admit + occupancy;
+        let is_write = txn.kind.carries_data();
+        let lat = if is_write {
+            self.write_latency
+        } else {
+            self.read_latency
+        };
+        let ready_at = admit + lat;
+        if is_write {
+            EndpointResponse {
+                kind: Some(TransactionKind::Mem(MemOpcode::Cmp)),
+                bytes: 0,
+                ready_at,
+            }
+        } else {
+            EndpointResponse {
+                kind: Some(TransactionKind::Mem(MemOpcode::MemData)),
+                bytes: txn.bytes.max(64),
+                ready_at,
+            }
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fcc_proto::addr::NodeId;
+
+    use super::*;
+
+    fn txn(kind: TransactionKind, bytes: u32) -> Transaction {
+        Transaction {
+            id: 1,
+            kind,
+            addr: 0,
+            bytes,
+            src: NodeId(0),
+            dst: NodeId(1),
+        }
+    }
+
+    #[test]
+    fn read_returns_data_after_latency() {
+        let mut dev =
+            FixedLatencyMemory::new(SimTime::from_ns(100.0), SimTime::from_ns(120.0), 1 << 30);
+        let r = dev.service(
+            &txn(TransactionKind::Mem(MemOpcode::MemRd), 64),
+            SimTime::from_ns(10.0),
+        );
+        assert_eq!(r.ready_at, SimTime::from_ns(110.0));
+        assert_eq!(r.bytes, 64);
+        assert_eq!(r.kind, Some(TransactionKind::Mem(MemOpcode::MemData)));
+        assert_eq!(dev.reads(), 1);
+    }
+
+    #[test]
+    fn accesses_serialize_on_the_device() {
+        let mut dev =
+            FixedLatencyMemory::new(SimTime::from_ns(100.0), SimTime::from_ns(100.0), 1 << 30);
+        let a = dev.service(
+            &txn(TransactionKind::Mem(MemOpcode::MemRd), 64),
+            SimTime::ZERO,
+        );
+        let b = dev.service(
+            &txn(TransactionKind::Mem(MemOpcode::MemRd), 64),
+            SimTime::ZERO,
+        );
+        assert_eq!(a.ready_at, SimTime::from_ns(100.0));
+        assert_eq!(b.ready_at, SimTime::from_ns(200.0), "second waits");
+    }
+
+    #[test]
+    fn write_completes_without_data() {
+        let mut dev =
+            FixedLatencyMemory::new(SimTime::from_ns(100.0), SimTime::from_ns(50.0), 1 << 30);
+        let r = dev.service(
+            &txn(TransactionKind::Mem(MemOpcode::MemWr), 64),
+            SimTime::ZERO,
+        );
+        assert_eq!(r.kind, Some(TransactionKind::Mem(MemOpcode::Cmp)));
+        assert_eq!(r.bytes, 0);
+        assert_eq!(dev.writes(), 1);
+    }
+
+    #[test]
+    fn pipelined_memory_overlaps_up_to_the_admission_rate() {
+        let mut dev = PipelinedMemory::new(
+            SimTime::from_ns(600.0),
+            SimTime::from_ns(700.0),
+            SimTime::from_ns(100.0),
+            1 << 20,
+        );
+        // Four reads issued at t=0: admissions space by 100 ns, each takes
+        // 600 ns after admission.
+        let expected = [600.0, 700.0, 800.0, 900.0];
+        for (i, want) in expected.iter().enumerate() {
+            let r = dev.service(
+                &txn(TransactionKind::Mem(MemOpcode::MemRd), 64),
+                SimTime::ZERO,
+            );
+            assert!(
+                (r.ready_at.as_ns() - want).abs() < 1e-9,
+                "access {i}: {} vs {want}",
+                r.ready_at.as_ns()
+            );
+        }
+        assert_eq!(dev.accesses(), 4);
+    }
+
+    #[test]
+    fn pipelined_memory_idle_gap_resets_admission() {
+        let mut dev = PipelinedMemory::new(
+            SimTime::from_ns(600.0),
+            SimTime::from_ns(700.0),
+            SimTime::from_ns(100.0),
+            1 << 20,
+        );
+        dev.service(&txn(TransactionKind::Mem(MemOpcode::MemRd), 64), SimTime::ZERO);
+        // A much later access is admitted immediately.
+        let r = dev.service(
+            &txn(TransactionKind::Mem(MemOpcode::MemRd), 64),
+            SimTime::from_us(10.0),
+        );
+        assert_eq!(r.ready_at, SimTime::from_us(10.0) + SimTime::from_ns(600.0));
+    }
+
+    #[test]
+    fn per_byte_occupancy_scales_with_transfer_size() {
+        let mut dev = PipelinedMemory::new(
+            SimTime::from_ns(200.0),
+            SimTime::from_ns(220.0),
+            SimTime::from_ns(40.0),
+            1 << 20,
+        )
+        .with_gap_per_byte(0.04);
+        // A 16 KiB write holds the controller 40 + 0.04*16384 = 695.36 ns:
+        // the next access is admitted only after that.
+        let w = dev.service(
+            &txn(TransactionKind::Mem(MemOpcode::MemWr), 16384),
+            SimTime::ZERO,
+        );
+        assert_eq!(w.kind, Some(TransactionKind::Mem(MemOpcode::Cmp)));
+        let r = dev.service(
+            &txn(TransactionKind::Mem(MemOpcode::MemRd), 64),
+            SimTime::ZERO,
+        );
+        let admit_ns = 40.0 + 0.04 * 16384.0;
+        assert!(
+            (r.ready_at.as_ns() - (admit_ns + 200.0)).abs() < 1e-6,
+            "{}",
+            r.ready_at.as_ns()
+        );
+    }
+
+    #[test]
+    fn io_read_gets_completion() {
+        let mut dev =
+            FixedLatencyMemory::new(SimTime::from_ns(10.0), SimTime::from_ns(10.0), 1 << 20);
+        let r = dev.service(
+            &txn(
+                TransactionKind::Io(fcc_proto::channel::IoOpcode::MemRead),
+                128,
+            ),
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            r.kind,
+            Some(TransactionKind::Io(
+                fcc_proto::channel::IoOpcode::Completion
+            ))
+        );
+        assert_eq!(r.bytes, 128);
+    }
+}

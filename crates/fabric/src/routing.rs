@@ -1,0 +1,165 @@
+//! Routing tables: Port Based Routing and Hierarchy Based Routing.
+//!
+//! "A CXL fabric contains several domains connected via HBR links, where
+//! each one consists of one or more switches that are PBR capable. [...]
+//! An intra-domain switch uses 12-bit PBR IDs to address up to 4096 unique
+//! edge ports" (§2.1). A [`RoutingTable`] resolves a destination node to
+//! one or more candidate output ports: exact PBR entries for nodes in the
+//! local domain, HBR entries (by destination domain) for foreign nodes.
+//! Multiple candidates per destination enable adaptive routing.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use fcc_proto::addr::NodeId;
+
+/// A routing domain (a set of PBR-interconnected switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct DomainId(pub u8);
+
+/// Per-switch routing state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoutingTable {
+    local_domain: DomainId,
+    /// PBR: destination node → candidate output ports (primary first).
+    pbr: HashMap<NodeId, Vec<usize>>,
+    /// HBR: foreign domain → candidate output ports.
+    hbr: HashMap<DomainId, Vec<usize>>,
+    /// Which domain each known node lives in.
+    domain_of: HashMap<NodeId, DomainId>,
+}
+
+
+impl RoutingTable {
+    /// Creates an empty table for a switch in `local_domain`.
+    pub fn new(local_domain: DomainId) -> Self {
+        RoutingTable {
+            local_domain,
+            ..Default::default()
+        }
+    }
+
+    /// The switch's own domain.
+    pub fn local_domain(&self) -> DomainId {
+        self.local_domain
+    }
+
+    /// Installs (or extends) a PBR route: `dst` reachable via `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not PBR-addressable (12-bit ID space).
+    pub fn add_pbr(&mut self, dst: NodeId, port: usize) {
+        assert!(dst.is_pbr_addressable(), "node {dst} exceeds PBR ID space");
+        let ports = self.pbr.entry(dst).or_default();
+        if !ports.contains(&port) {
+            ports.push(port);
+        }
+        self.domain_of.entry(dst).or_insert(self.local_domain);
+    }
+
+    /// Installs an HBR route toward a foreign domain.
+    pub fn add_hbr(&mut self, domain: DomainId, port: usize) {
+        let ports = self.hbr.entry(domain).or_default();
+        if !ports.contains(&port) {
+            ports.push(port);
+        }
+    }
+
+    /// Records that `node` lives in `domain` (HBR classification).
+    pub fn set_domain(&mut self, node: NodeId, domain: DomainId) {
+        self.domain_of.insert(node, domain);
+    }
+
+    /// Resolves `dst` to candidate output ports, primary first.
+    ///
+    /// Resolution order: exact PBR entry, then the HBR route of the node's
+    /// domain (if foreign), then `None` (unroutable — the switch drops and
+    /// lets the fabric manager hear about it).
+    pub fn route(&self, dst: NodeId) -> Option<&[usize]> {
+        if let Some(ports) = self.pbr.get(&dst) {
+            return Some(ports);
+        }
+        let domain = self.domain_of.get(&dst)?;
+        if *domain == self.local_domain {
+            return None;
+        }
+        self.hbr.get(domain).map(|v| v.as_slice())
+    }
+
+    /// Number of installed PBR entries.
+    pub fn pbr_entries(&self) -> usize {
+        self.pbr.len()
+    }
+
+    /// Clears everything (fabric-manager re-initialization).
+    pub fn clear(&mut self) {
+        self.pbr.clear();
+        self.hbr.clear();
+        self.domain_of.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbr_exact_match_wins() {
+        let mut rt = RoutingTable::new(DomainId(0));
+        rt.add_pbr(NodeId(5), 2);
+        rt.add_hbr(DomainId(1), 7);
+        rt.set_domain(NodeId(5), DomainId(1));
+        // Even though node 5 is marked foreign, the exact entry wins.
+        assert_eq!(rt.route(NodeId(5)), Some(&[2][..]));
+    }
+
+    #[test]
+    fn foreign_nodes_use_hbr() {
+        let mut rt = RoutingTable::new(DomainId(0));
+        rt.add_hbr(DomainId(1), 3);
+        rt.set_domain(NodeId(9), DomainId(1));
+        assert_eq!(rt.route(NodeId(9)), Some(&[3][..]));
+    }
+
+    #[test]
+    fn unknown_nodes_are_unroutable() {
+        let rt = RoutingTable::new(DomainId(0));
+        assert_eq!(rt.route(NodeId(1)), None);
+    }
+
+    #[test]
+    fn local_domain_without_pbr_is_unroutable() {
+        let mut rt = RoutingTable::new(DomainId(0));
+        rt.set_domain(NodeId(4), DomainId(0));
+        assert_eq!(rt.route(NodeId(4)), None);
+    }
+
+    #[test]
+    fn alternates_accumulate_without_duplicates() {
+        let mut rt = RoutingTable::new(DomainId(0));
+        rt.add_pbr(NodeId(1), 0);
+        rt.add_pbr(NodeId(1), 4);
+        rt.add_pbr(NodeId(1), 0);
+        assert_eq!(rt.route(NodeId(1)), Some(&[0, 4][..]));
+        assert_eq!(rt.pbr_entries(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "PBR ID space")]
+    fn oversized_node_id_rejected() {
+        let mut rt = RoutingTable::new(DomainId(0));
+        rt.add_pbr(NodeId(4096), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut rt = RoutingTable::new(DomainId(2));
+        rt.add_pbr(NodeId(1), 0);
+        rt.clear();
+        assert_eq!(rt.route(NodeId(1)), None);
+        assert_eq!(rt.local_domain(), DomainId(2));
+    }
+}

@@ -1,0 +1,756 @@
+//! The fabric switch (FS): ports, queueing, scheduling, and forwarding.
+//!
+//! "An FS consists of upstream ports (UPs) for FHA connectivity,
+//! downstream ports (DPs) for remote devices/memory modules, and internal
+//! switching tables associated with efficient traffic orchestration"
+//! (§2.2). The model is an input-queued switch:
+//!
+//! * Arriving flits are admitted by the ingress port's link layer (credit
+//!   pool) and wait in an ingress queue for the per-flit forwarding
+//!   latency, then for egress credit toward the next hop. Ingress buffer
+//!   credits return upstream only when a flit departs — this is what makes
+//!   congestion back-propagate across switches (§3 D#3, "credit
+//!   coordination").
+//! * [`QueueDiscipline::Fifo`] keeps one FIFO per input: a head flit whose
+//!   output is credit-starved blocks younger flits to idle outputs —
+//!   head-of-line blocking (§3 D#3, "credit-flow scheduling").
+//! * [`QueueDiscipline::Voq`] keeps virtual output queues, removing HOL
+//!   blocking; outputs arbitrate round-robin across inputs.
+//! * Egress credit allocation follows [`AllocPolicy`]: static-fair, the
+//!   exponential ramp-up scheme the paper critiques, or arbitrated
+//!   reservations installed by the central arbiter.
+//! * Adaptive routing picks the least-backlogged candidate port.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use fcc_proto::addr::NodeId;
+use fcc_proto::channel::MsgClass;
+use fcc_proto::flit::FlitPayload;
+use fcc_proto::link::CreditConfig;
+use fcc_proto::phys::PhysConfig;
+use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, SimTime, TokenBucket};
+
+use crate::credit::{AllocPolicy, RampUpState};
+use crate::port::{FlitMsg, LinkPort, PortEvent};
+use crate::routing::RoutingTable;
+
+/// Identifies a flow (source endpoint, destination endpoint) for the
+/// arbiter's reservations and the switch's rate enforcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowId {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// Ingress queue organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// One FIFO per input port (credit-agnostic; HOL-blocking prone).
+    Fifo,
+    /// Virtual output queues per (input, output).
+    Voq,
+}
+
+/// Static switch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// Physical layer of every port (per-port overrides via
+    /// [`FabricSwitch::add_port_with`]).
+    pub phys: PhysConfig,
+    /// Link-layer credit configuration of every port.
+    pub credit: CreditConfig,
+    /// Per-flit forwarding latency through the crossbar (FabreX: <100 ns).
+    pub fwd_latency: SimTime,
+    /// Ingress queue organization.
+    pub queueing: QueueDiscipline,
+    /// Egress credit allocation policy.
+    pub allocation: AllocPolicy,
+    /// Whether to spread traffic across alternate routes adaptively.
+    pub adaptive: bool,
+}
+
+impl SwitchConfig {
+    /// A FabreX-like switch: ~90 ns port latency, fair allocation, VOQs.
+    pub fn fabrex_like() -> Self {
+        SwitchConfig {
+            phys: PhysConfig::omega_like(),
+            credit: CreditConfig::default(),
+            fwd_latency: SimTime::from_ns(90.0),
+            queueing: QueueDiscipline::Voq,
+            allocation: AllocPolicy::Fair,
+            adaptive: false,
+        }
+    }
+}
+
+/// Installs a PBR route (from the fabric manager).
+#[derive(Debug, Clone, Copy)]
+pub struct InstallPbrRoute {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Output port.
+    pub port: usize,
+}
+
+/// Installs an HBR route (from the fabric manager).
+#[derive(Debug, Clone, Copy)]
+pub struct InstallHbrRoute {
+    /// Foreign domain.
+    pub domain: crate::routing::DomainId,
+    /// Output port.
+    pub port: usize,
+}
+
+/// Declares a node's domain (from the fabric manager).
+#[derive(Debug, Clone, Copy)]
+pub struct SetNodeDomain {
+    /// The node.
+    pub node: NodeId,
+    /// Its domain.
+    pub domain: crate::routing::DomainId,
+}
+
+/// Installs a flow rate reservation (from the central arbiter).
+#[derive(Debug, Clone, Copy)]
+pub struct InstallRate {
+    /// The reserved flow.
+    pub flow: FlowId,
+    /// Sustained rate in Gbit/s.
+    pub gbps: f64,
+    /// Burst allowance in bytes.
+    pub burst_bytes: u64,
+}
+
+/// Removes a flow reservation (from the central arbiter).
+#[derive(Debug, Clone, Copy)]
+pub struct RemoveRate {
+    /// The flow to release.
+    pub flow: FlowId,
+}
+
+/// Discovery probe (from the fabric manager).
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoverReq {
+    /// Where to send the [`DiscoverRsp`].
+    pub reply_to: ComponentId,
+}
+
+/// Discovery answer: the peer component on each port.
+#[derive(Debug, Clone)]
+pub struct DiscoverRsp {
+    /// The responding switch.
+    pub switch: ComponentId,
+    /// Peer component per port index.
+    pub peers: Vec<ComponentId>,
+}
+
+/// Self-message: re-run the scheduler.
+#[derive(Debug, Clone, Copy)]
+struct Kick;
+
+/// Self-message: ramp-up window rollover.
+#[derive(Debug, Clone, Copy)]
+struct WindowTick;
+
+#[derive(Debug)]
+struct Entry {
+    payload: FlitPayload,
+    class: MsgClass,
+    ready_at: SimTime,
+    flow: FlowId,
+    enqueued_at: SimTime,
+}
+
+/// A fabric switch component.
+pub struct FabricSwitch {
+    cfg: SwitchConfig,
+    ports: Vec<LinkPort>,
+    peer_to_port: HashMap<ComponentId, usize>,
+    /// Routing table (public so topology builders can pre-install routes).
+    pub routing: RoutingTable,
+    /// FIFO discipline: one queue per input.
+    fifo: Vec<VecDeque<Entry>>,
+    /// VOQ discipline: queues[input][output].
+    voq: Vec<Vec<VecDeque<Entry>>>,
+    rr_input: usize,
+    ramp: Vec<Option<RampUpState>>,
+    flows: HashMap<FlowId, TokenBucket>,
+    tick_armed: bool,
+    /// Earliest pending Kick self-message (dedup: one in flight).
+    next_kick_at: Option<SimTime>,
+    /// Flits forwarded.
+    pub forwarded: Counter,
+    /// Flits dropped for lack of a route.
+    pub unroutable: Counter,
+    /// Sum of per-flit queueing delays (ps) for mean-delay probes.
+    pub queue_delay_ps: Counter,
+}
+
+impl FabricSwitch {
+    /// Creates a switch with no ports.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        FabricSwitch {
+            cfg,
+            ports: Vec::new(),
+            peer_to_port: HashMap::new(),
+            routing: RoutingTable::new(crate::routing::DomainId(0)),
+            fifo: Vec::new(),
+            voq: Vec::new(),
+            rr_input: 0,
+            ramp: Vec::new(),
+            flows: HashMap::new(),
+            tick_armed: false,
+            next_kick_at: None,
+            forwarded: Counter::new(),
+            unroutable: Counter::new(),
+            queue_delay_ps: Counter::new(),
+        }
+    }
+
+    /// Adds a port with the switch-default phys/credit config.
+    pub fn add_port(&mut self) -> usize {
+        self.add_port_with(self.cfg.phys, self.cfg.credit)
+    }
+
+    /// Adds a port with explicit physical/credit configuration.
+    pub fn add_port_with(&mut self, phys: PhysConfig, credit: CreditConfig) -> usize {
+        let idx = self.ports.len();
+        self.ports.push(LinkPort::new(phys, credit));
+        self.fifo.push(VecDeque::new());
+        for q in &mut self.voq {
+            q.push(VecDeque::new());
+        }
+        self.voq
+            .push((0..self.ports.len()).map(|_| VecDeque::new()).collect());
+        // Existing voq rows gained a column above; new row sized to ports.
+        for q in &mut self.voq {
+            while q.len() < self.ports.len() {
+                q.push(VecDeque::new());
+            }
+        }
+        self.ramp.push(None);
+        idx
+    }
+
+    /// Connects a port to its peer component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port index is out of range.
+    pub fn connect(&mut self, port: usize, peer: ComponentId) {
+        self.ports[port].connect(peer);
+        self.peer_to_port.insert(peer, port);
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Access to a port (probes).
+    pub fn port(&self, idx: usize) -> &LinkPort {
+        &self.ports[idx]
+    }
+
+    /// Mutable access to a port (fault injection).
+    pub fn port_mut(&mut self, idx: usize) -> &mut LinkPort {
+        &mut self.ports[idx]
+    }
+
+    /// Total flits waiting in ingress queues.
+    pub fn queued(&self) -> usize {
+        let fifo: usize = self.fifo.iter().map(|q| q.len()).sum();
+        let voq: usize = self
+            .voq
+            .iter()
+            .flat_map(|row| row.iter().map(|q| q.len()))
+            .sum();
+        fifo + voq
+    }
+
+    /// Current ramp-up allocations for an output (empty if unused).
+    pub fn ramp_allocations(&self, output: usize) -> Vec<u32> {
+        self.ramp[output]
+            .as_ref()
+            .map(|s| s.allocations().to_vec())
+            .unwrap_or_default()
+    }
+
+    fn flow_of(payload: &FlitPayload) -> FlowId {
+        match payload {
+            FlitPayload::Transaction(t) => FlowId {
+                src: t.src,
+                dst: t.dst,
+            },
+            FlitPayload::Data { src, dst, .. } => FlowId {
+                src: *src,
+                dst: *dst,
+            },
+            _ => FlowId {
+                src: NodeId(0),
+                dst: NodeId(0),
+            },
+        }
+    }
+
+    fn dst_of(payload: &FlitPayload) -> Option<NodeId> {
+        match payload {
+            FlitPayload::Transaction(t) => Some(t.dst),
+            FlitPayload::Data { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Picks the output port for `dst`, adaptively if configured: among
+    /// the candidates, choose the one with the least backlog, counting
+    /// queued flits first (a credit-starved egress has an idle wire but a
+    /// deep queue — the wire watermark alone would keep feeding it) and
+    /// breaking ties on wire occupancy.
+    fn pick_output(&self, dst: NodeId, now: SimTime) -> Option<usize> {
+        let candidates = self.routing.route(dst)?;
+        if candidates.is_empty() {
+            return None;
+        }
+        if !self.cfg.adaptive || candidates.len() == 1 {
+            return Some(candidates[0]);
+        }
+        candidates.iter().copied().min_by_key(|&p| {
+            let queued: usize = self.voq.iter().map(|row| row[p].len()).sum();
+            let pending = self.ports[p].pending_len();
+            let backlog = self.ports[p].wire_free_at().saturating_sub(now);
+            (queued + pending, backlog, p)
+        })
+    }
+
+    fn admit(&mut self, ctx: &mut Ctx<'_>, in_port: usize, payload: FlitPayload) {
+        let Some(dst) = Self::dst_of(&payload) else {
+            // Pure control should have been consumed by the link layer.
+            self.ports[in_port].release(ctx, payload.msg_class());
+            return;
+        };
+        let class = payload.msg_class();
+        let flow = Self::flow_of(&payload);
+        let ready_at = ctx.now() + self.cfg.fwd_latency;
+        // Output resolution is deferred to dispatch for adaptive routing,
+        // but unroutable flits are dropped immediately.
+        if self.routing.route(dst).is_none() {
+            self.unroutable.inc();
+            self.ports[in_port].release(ctx, class);
+            return;
+        }
+        let entry = Entry {
+            payload,
+            class,
+            ready_at,
+            flow,
+            enqueued_at: ctx.now(),
+        };
+        match self.cfg.queueing {
+            QueueDiscipline::Fifo => self.fifo[in_port].push_back(entry),
+            QueueDiscipline::Voq => {
+                let out = self
+                    .pick_output(dst, ctx.now())
+                    .expect("route checked above");
+                self.voq[in_port][out].push_back(entry);
+            }
+        }
+        self.arm_tick(ctx);
+        self.request_kick(ctx, ready_at);
+    }
+
+    /// Schedules a Kick at `at`, suppressing duplicates: at most one Kick
+    /// is pending at a time (redundant kicks at the same ready time would
+    /// otherwise multiply into an event storm under contention).
+    fn request_kick(&mut self, ctx: &mut Ctx<'_>, at: SimTime) {
+        if let Some(t) = self.next_kick_at {
+            if t <= at {
+                return;
+            }
+        }
+        self.next_kick_at = Some(at);
+        ctx.send_self(at - ctx.now(), Kick);
+    }
+
+    fn arm_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.tick_armed {
+            return;
+        }
+        if let AllocPolicy::RampUp { window, .. } = self.cfg.allocation {
+            self.tick_armed = true;
+            ctx.send_self(window, WindowTick);
+        }
+    }
+
+    fn ramp_state(&mut self, output: usize) -> Option<&mut RampUpState> {
+        if let AllocPolicy::RampUp {
+            floor,
+            ceiling,
+            pool,
+            ..
+        } = self.cfg.allocation
+        {
+            let inputs = self.ports.len();
+            Some(
+                self.ramp[output]
+                    .get_or_insert_with(|| RampUpState::new(inputs, floor, ceiling, pool)),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Whether the allocation policy lets input `i` send to `out` now.
+    /// Returns the retry time if the flit is rate-limited.
+    fn policy_gate(
+        &mut self,
+        i: usize,
+        out: usize,
+        flow: FlowId,
+        now: SimTime,
+        reserved_phase: bool,
+    ) -> Result<(), Option<SimTime>> {
+        match self.cfg.allocation {
+            AllocPolicy::Fair => {
+                if reserved_phase {
+                    Err(None)
+                } else {
+                    Ok(())
+                }
+            }
+            AllocPolicy::RampUp { .. } => {
+                if reserved_phase {
+                    return Err(None);
+                }
+                let state = self.ramp_state(out).expect("ramp policy");
+                if state.may_send(i) {
+                    Ok(())
+                } else {
+                    Err(None)
+                }
+            }
+            AllocPolicy::Arbitrated => {
+                let is_reserved = self.flows.contains_key(&flow);
+                if is_reserved != reserved_phase {
+                    return Err(None);
+                }
+                if let Some(bucket) = self.flows.get_mut(&flow) {
+                    let bytes = self.cfg.phys.flit_mode.bytes();
+                    let at = bucket.earliest(now, bytes);
+                    if at > now {
+                        return Err(Some(at));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn record_send(&mut self, i: usize, out: usize, flow: FlowId, now: SimTime) {
+        if let Some(state) = self.ramp_state(out) {
+            state.on_send(i);
+        }
+        if let Some(bucket) = self.flows.get_mut(&flow) {
+            bucket.force_consume(now, self.cfg.phys.flit_mode.bytes());
+        }
+    }
+
+    /// One scheduling sweep: move every dispatchable flit to its egress.
+    fn schedule(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let n = self.ports.len();
+        let mut next_kick: Option<SimTime> = None;
+        // Reserved traffic first (only meaningful under Arbitrated).
+        for reserved_phase in [true, false] {
+            if reserved_phase && !matches!(self.cfg.allocation, AllocPolicy::Arbitrated) {
+                continue;
+            }
+            let mut progress = true;
+            while progress {
+                progress = false;
+                for step in 0..n {
+                    let i = (self.rr_input + step) % n;
+                    if self.try_dispatch_input(ctx, i, now, reserved_phase, &mut next_kick) {
+                        progress = true;
+                    }
+                }
+                self.rr_input = (self.rr_input + 1) % n;
+            }
+        }
+        if let Some(at) = next_kick {
+            self.request_kick(ctx, at);
+        }
+    }
+
+    /// Attempts to dispatch one flit from input `i`; returns whether one moved.
+    fn try_dispatch_input(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        i: usize,
+        now: SimTime,
+        reserved_phase: bool,
+        next_kick: &mut Option<SimTime>,
+    ) -> bool {
+        match self.cfg.queueing {
+            QueueDiscipline::Fifo => self.try_dispatch_fifo(ctx, i, now, reserved_phase, next_kick),
+            QueueDiscipline::Voq => self.try_dispatch_voq(ctx, i, now, reserved_phase, next_kick),
+        }
+    }
+
+    fn try_dispatch_fifo(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        i: usize,
+        now: SimTime,
+        reserved_phase: bool,
+        next_kick: &mut Option<SimTime>,
+    ) -> bool {
+        let Some((ready_at, dst, flow, class)) = self.fifo[i].front().map(|h| {
+            (
+                h.ready_at,
+                Self::dst_of(&h.payload).expect("routable"),
+                h.flow,
+                h.class,
+            )
+        }) else {
+            return false;
+        };
+        if ready_at > now {
+            self.note_kick(next_kick, ready_at);
+            return false;
+        }
+        let Some(out) = self.pick_output(dst, now) else {
+            return false;
+        };
+        match self.policy_gate(i, out, flow, now, reserved_phase) {
+            Ok(()) => {}
+            Err(Some(at)) => {
+                self.note_kick(next_kick, at);
+                return false;
+            }
+            // HOL blocking: the whole input queue waits behind its head.
+            Err(None) => return false,
+        }
+        if !self.ports[out].link.can_send(class) {
+            return false;
+        }
+        let entry = self.fifo[i].pop_front().expect("front checked");
+        self.finish_dispatch(ctx, i, out, entry, now);
+        true
+    }
+
+    fn try_dispatch_voq(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        i: usize,
+        now: SimTime,
+        reserved_phase: bool,
+        next_kick: &mut Option<SimTime>,
+    ) -> bool {
+        let n = self.ports.len();
+        for o in 0..n {
+            let out = (i + o) % n;
+            let Some((ready_at, flow, class)) = self.voq[i][out]
+                .front()
+                .map(|h| (h.ready_at, h.flow, h.class))
+            else {
+                continue;
+            };
+            if ready_at > now {
+                self.note_kick(next_kick, ready_at);
+                continue;
+            }
+            match self.policy_gate(i, out, flow, now, reserved_phase) {
+                Ok(()) => {}
+                Err(Some(at)) => {
+                    self.note_kick(next_kick, at);
+                    continue;
+                }
+                Err(None) => continue,
+            }
+            if !self.ports[out].link.can_send(class) {
+                continue;
+            }
+            let entry = self.voq[i][out].pop_front().expect("front checked");
+            self.finish_dispatch(ctx, i, out, entry, now);
+            return true;
+        }
+        false
+    }
+
+    fn finish_dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        i: usize,
+        out: usize,
+        entry: Entry,
+        now: SimTime,
+    ) {
+        self.record_send(i, out, entry.flow, now);
+        self.queue_delay_ps.add((now - entry.enqueued_at).as_ps());
+        self.forwarded.inc();
+        self.ports[out].send_now(ctx, entry.payload);
+        self.ports[i].release(ctx, entry.class);
+    }
+
+    #[allow(clippy::trivially_copy_pass_by_ref)]
+    fn note_kick(&self, next: &mut Option<SimTime>, at: SimTime) {
+        match next {
+            Some(t) if *t <= at => {}
+            _ => *next = Some(at),
+        }
+    }
+
+    fn on_flit(&mut self, ctx: &mut Ctx<'_>, in_port: usize, fm: FlitMsg) {
+        match self.ports[in_port].receive(ctx, fm) {
+            PortEvent::Delivered(payload) => self.admit(ctx, in_port, payload),
+            PortEvent::CreditFreed => self.schedule(ctx),
+            PortEvent::Quiet => {}
+        }
+    }
+}
+
+impl Component for FabricSwitch {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let src = msg.src;
+        let msg = match msg.downcast::<FlitMsg>() {
+            Ok(fm) => {
+                let src = src.expect("flits always have a source");
+                let port = *self
+                    .peer_to_port
+                    .get(&src)
+                    .expect("flit from unconnected component");
+                self.on_flit(ctx, port, fm);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Kick>() {
+            Ok(Kick) => {
+                // Clear before sweeping so the sweep may arm a new kick.
+                if self.next_kick_at.is_some_and(|t| t <= ctx.now()) {
+                    self.next_kick_at = None;
+                }
+                self.schedule(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<WindowTick>() {
+            Ok(WindowTick) => {
+                for state in self.ramp.iter_mut().flatten() {
+                    state.rollover();
+                }
+                self.tick_armed = false;
+                if self.queued() > 0 {
+                    self.arm_tick(ctx);
+                    self.schedule(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<InstallPbrRoute>() {
+            Ok(r) => {
+                self.routing.add_pbr(r.dst, r.port);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<InstallHbrRoute>() {
+            Ok(r) => {
+                self.routing.add_hbr(r.domain, r.port);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SetNodeDomain>() {
+            Ok(r) => {
+                self.routing.set_domain(r.node, r.domain);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<InstallRate>() {
+            Ok(r) => {
+                self.flows
+                    .insert(r.flow, TokenBucket::new(r.gbps, r.burst_bytes.max(1)));
+                self.schedule(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RemoveRate>() {
+            Ok(r) => {
+                self.flows.remove(&r.flow);
+                self.schedule(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<DiscoverReq>() {
+            Ok(req) => {
+                let peers: Vec<ComponentId> = (0..self.ports.len())
+                    .map(|p| self.ports[p].peer())
+                    .collect();
+                let rsp = DiscoverRsp {
+                    switch: ctx.self_id(),
+                    peers,
+                };
+                ctx.send(req.reply_to, SimTime::from_ns(100.0), rsp);
+            }
+            Err(m) => panic!("switch: unexpected message {}", m.type_name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_growth_keeps_voq_square() {
+        let mut sw = FabricSwitch::new(SwitchConfig::fabrex_like());
+        for _ in 0..5 {
+            sw.add_port();
+        }
+        assert_eq!(sw.port_count(), 5);
+        assert_eq!(sw.voq.len(), 5);
+        for row in &sw.voq {
+            assert_eq!(row.len(), 5);
+        }
+        assert_eq!(sw.queued(), 0);
+    }
+
+    #[test]
+    fn flow_extraction() {
+        use fcc_proto::channel::{MemOpcode, Transaction, TransactionKind};
+        let t = FlitPayload::Transaction(Transaction {
+            id: 1,
+            kind: TransactionKind::Mem(MemOpcode::MemRd),
+            addr: 0,
+            bytes: 0,
+            src: NodeId(3),
+            dst: NodeId(9),
+        });
+        assert_eq!(
+            FabricSwitch::flow_of(&t),
+            FlowId {
+                src: NodeId(3),
+                dst: NodeId(9)
+            }
+        );
+        assert_eq!(FabricSwitch::dst_of(&t), Some(NodeId(9)));
+        let d = FlitPayload::Data {
+            txn_id: 1,
+            slot: 0,
+            src: NodeId(3),
+            dst: NodeId(9),
+        };
+        assert_eq!(FabricSwitch::dst_of(&d), Some(NodeId(9)));
+        assert_eq!(FabricSwitch::dst_of(&FlitPayload::Idle), None);
+    }
+}

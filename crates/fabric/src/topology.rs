@@ -1,0 +1,556 @@
+//! Declarative assembly of composable infrastructures.
+//!
+//! Builders create the engine components of Figure 1 — host servers with
+//! FHAs, fabric switches, FAM/FAA chassis behind FEAs — wire their ports,
+//! build the host address map, and install routes (directly, or via the
+//! fabric manager for the discovery experiment F1).
+
+use fcc_proto::addr::{AddrMap, AddrRange, NodeId};
+use fcc_proto::link::CreditConfig;
+use fcc_sim::{ComponentId, Engine, SimTime};
+
+use crate::adapter::{Fea, Fha};
+use crate::endpoint::{Endpoint, FixedLatencyMemory};
+use crate::manager::FabricManager;
+use crate::switch::{FabricSwitch, SwitchConfig};
+
+/// Base host physical address at which FAM capacity is mapped.
+pub const FAM_BASE: u64 = 0x10_0000_0000;
+
+/// Shared configuration for topology builders.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologySpec {
+    /// Switch configuration (also supplies the port phys config).
+    pub switch: SwitchConfig,
+    /// Link-layer credits for adapter ports.
+    pub credit: CreditConfig,
+    /// FHA outstanding-request window.
+    pub fha_outstanding: usize,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec {
+            switch: SwitchConfig::fabrex_like(),
+            credit: CreditConfig::default(),
+            fha_outstanding: 16,
+        }
+    }
+}
+
+/// A host server on the fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct HostHandle {
+    /// The host's FHA component.
+    pub fha: ComponentId,
+    /// The host's fabric node id.
+    pub node: NodeId,
+}
+
+/// A fabric-attached device (FAM module or FAA engine).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceHandle {
+    /// The device's FEA component.
+    pub fea: ComponentId,
+    /// The device's fabric node id.
+    pub node: NodeId,
+    /// The host-physical range mapped to this device (len 0 for non-memory).
+    pub range: AddrRange,
+}
+
+/// A built composable infrastructure.
+pub struct Topology {
+    /// Host servers.
+    pub hosts: Vec<HostHandle>,
+    /// Fabric-attached devices.
+    pub devices: Vec<DeviceHandle>,
+    /// Fabric switches.
+    pub switches: Vec<ComponentId>,
+    /// The host physical address map shared by all FHAs.
+    pub addr_map: AddrMap,
+    /// The fabric manager, when the topology uses managed discovery.
+    pub manager: Option<ComponentId>,
+}
+
+impl Topology {
+    /// The first host's FHA (convenience for single-host setups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no hosts.
+    pub fn host(&self) -> HostHandle {
+        self.hosts[0]
+    }
+
+    /// The first device (convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no devices.
+    pub fn device(&self) -> DeviceHandle {
+        self.devices[0]
+    }
+}
+
+struct Builder<'e> {
+    engine: &'e mut Engine,
+    spec: TopologySpec,
+    next_node: u16,
+    next_addr: u64,
+    map: AddrMap,
+    hosts: Vec<HostHandle>,
+    devices: Vec<DeviceHandle>,
+}
+
+impl<'e> Builder<'e> {
+    fn new(engine: &'e mut Engine, spec: TopologySpec) -> Self {
+        Builder {
+            engine,
+            spec,
+            next_node: 1,
+            next_addr: FAM_BASE,
+            map: AddrMap::new(),
+            hosts: Vec::new(),
+            devices: Vec::new(),
+        }
+    }
+
+    fn alloc_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        id
+    }
+
+    /// Creates the device components and reserves their address ranges,
+    /// without wiring (the map must be complete before FHAs are built).
+    fn stage_devices(&mut self, devices: Vec<Box<dyn Endpoint>>) -> Vec<(ComponentId, NodeId)> {
+        let mut out = Vec::new();
+        for (i, dev) in devices.into_iter().enumerate() {
+            let node = self.alloc_node();
+            let capacity = dev.capacity();
+            let range = if capacity > 0 {
+                let r = AddrRange::new(self.next_addr, capacity);
+                self.map.add_direct(r, node);
+                self.next_addr += capacity;
+                r
+            } else {
+                AddrRange::new(u64::MAX - 1, 1)
+            };
+            let fea = self.engine.add_component(
+                format!("fea{}", node.0),
+                Fea::new(node, self.spec.switch.phys, self.spec.credit, dev),
+            );
+            self.devices.push(DeviceHandle { fea, node, range });
+            out.push((fea, node));
+            let _ = i;
+        }
+        out
+    }
+
+    fn make_host(&mut self) -> HostHandle {
+        let node = self.alloc_node();
+        let fha = self.engine.add_component(
+            format!("fha{}", node.0),
+            Fha::new(
+                node,
+                self.spec.switch.phys,
+                self.spec.credit,
+                self.map.clone(),
+                self.spec.fha_outstanding,
+            ),
+        );
+        let handle = HostHandle { fha, node };
+        self.hosts.push(handle);
+        handle
+    }
+
+    fn attach_to_switch(&mut self, sw: ComponentId, peer: ComponentId, peer_node: Option<NodeId>) {
+        let port = {
+            let s = self.engine.component_mut::<FabricSwitch>(sw);
+            let p = s.add_port();
+            s.connect(p, peer);
+            if let Some(node) = peer_node {
+                s.routing.add_pbr(node, p);
+            }
+            p
+        };
+        let _ = port;
+        // Connect the peer back.
+        if self.hosts.iter().any(|h| h.fha == peer) {
+            self.engine.component_mut::<Fha>(peer).connect(sw);
+        } else {
+            self.engine.component_mut::<Fea>(peer).connect(sw);
+        }
+    }
+
+    fn link_switches(&mut self, a: ComponentId, b: ComponentId) -> (usize, usize) {
+        let pa = {
+            let s = self.engine.component_mut::<FabricSwitch>(a);
+            let p = s.add_port();
+            s.connect(p, b);
+            p
+        };
+        let pb = {
+            let s = self.engine.component_mut::<FabricSwitch>(b);
+            let p = s.add_port();
+            s.connect(p, a);
+            p
+        };
+        (pa, pb)
+    }
+}
+
+/// Builds a host directly attached to one device (no switch).
+pub fn direct(engine: &mut Engine, spec: TopologySpec, device: Box<dyn Endpoint>) -> Topology {
+    let mut b = Builder::new(engine, spec);
+    let staged = b.stage_devices(vec![device]);
+    let host = b.make_host();
+    let (fea, _node) = staged[0];
+    b.engine.component_mut::<Fha>(host.fha).connect(fea);
+    b.engine.component_mut::<Fea>(fea).connect(host.fha);
+    Topology {
+        hosts: b.hosts,
+        devices: b.devices,
+        switches: Vec::new(),
+        addr_map: b.map,
+        manager: None,
+    }
+}
+
+/// Builds `n_hosts` hosts and the given devices around one switch, with
+/// routes pre-installed.
+pub fn single_switch(
+    engine: &mut Engine,
+    spec: TopologySpec,
+    n_hosts: usize,
+    devices: Vec<Box<dyn Endpoint>>,
+) -> Topology {
+    let mut b = Builder::new(engine, spec);
+    let staged = b.stage_devices(devices);
+    let sw = b
+        .engine
+        .add_component("fs0", FabricSwitch::new(spec.switch));
+    for _ in 0..n_hosts {
+        let host = b.make_host();
+        b.attach_to_switch(sw, host.fha, Some(host.node));
+    }
+    for (fea, node) in staged {
+        b.attach_to_switch(sw, fea, Some(node));
+    }
+    Topology {
+        hosts: b.hosts,
+        devices: b.devices,
+        switches: vec![sw],
+        addr_map: b.map,
+        manager: None,
+    }
+}
+
+/// One stage of a [`chain`] topology.
+pub struct StageSpec {
+    /// Hosts attached to this stage's switch.
+    pub n_hosts: usize,
+    /// Devices attached to this stage's switch.
+    pub devices: Vec<Box<dyn Endpoint>>,
+}
+
+/// Builds a linear chain of switches (stage 0 — stage 1 — …), with hosts
+/// and devices attached per stage and chain routes installed. Used by the
+/// congestion back-propagation experiment (E3e).
+pub fn chain(engine: &mut Engine, spec: TopologySpec, stages: Vec<StageSpec>) -> Topology {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let mut b = Builder::new(engine, spec);
+    // Stage staging order: devices first (address map), remembering stages.
+    let mut staged_per_stage: Vec<Vec<(ComponentId, NodeId)>> = Vec::new();
+    let mut hosts_per_stage: Vec<usize> = Vec::new();
+    for stage in stages {
+        staged_per_stage.push(b.stage_devices(stage.devices));
+        hosts_per_stage.push(stage.n_hosts);
+    }
+    let switches: Vec<ComponentId> = (0..staged_per_stage.len())
+        .map(|i| {
+            b.engine
+                .add_component(format!("fs{i}"), FabricSwitch::new(spec.switch))
+        })
+        .collect();
+    // Inter-switch links.
+    let mut right_port: Vec<Option<usize>> = vec![None; switches.len()];
+    let mut left_port: Vec<Option<usize>> = vec![None; switches.len()];
+    for i in 0..switches.len().saturating_sub(1) {
+        let (pa, pb) = b.link_switches(switches[i], switches[i + 1]);
+        right_port[i] = Some(pa);
+        left_port[i + 1] = Some(pb);
+    }
+    // Attachments, collecting (stage, node) for route fill.
+    let mut node_stage: Vec<(NodeId, usize)> = Vec::new();
+    for (i, &sw) in switches.iter().enumerate() {
+        for _ in 0..hosts_per_stage[i] {
+            let host = b.make_host();
+            b.attach_to_switch(sw, host.fha, Some(host.node));
+            node_stage.push((host.node, i));
+        }
+        for &(fea, node) in &staged_per_stage[i] {
+            b.attach_to_switch(sw, fea, Some(node));
+            node_stage.push((node, i));
+        }
+    }
+    // Chain routes: from each switch toward nodes at other stages.
+    for (i, &sw) in switches.iter().enumerate() {
+        for &(node, stage) in &node_stage {
+            if stage == i {
+                continue; // local PBR already installed by attach.
+            }
+            let port = if stage > i {
+                right_port[i].expect("right link exists")
+            } else {
+                left_port[i].expect("left link exists")
+            };
+            b.engine
+                .component_mut::<FabricSwitch>(sw)
+                .routing
+                .add_pbr(node, port);
+        }
+    }
+    Topology {
+        hosts: b.hosts,
+        devices: b.devices,
+        switches,
+        addr_map: b.map,
+        manager: None,
+    }
+}
+
+/// Builds the Figure 1 infrastructure: two host servers, two cross-linked
+/// switches, two FAM chassis (three rDIMM modules each) and one FAA
+/// chassis (two engines), with a fabric manager ready to run discovery.
+///
+/// Routes are *not* pre-installed; post
+/// [`StartDiscovery`](crate::manager::StartDiscovery) to the returned
+/// manager and run the engine (experiment F1).
+pub fn figure1(engine: &mut Engine, spec: TopologySpec) -> Topology {
+    let dimm = || -> Box<dyn Endpoint> {
+        Box::new(FixedLatencyMemory::new(
+            SimTime::from_ns(100.0),
+            SimTime::from_ns(100.0),
+            1 << 30,
+        ))
+    };
+    let accel = || -> Box<dyn Endpoint> {
+        Box::new(FixedLatencyMemory::new(
+            SimTime::from_ns(50.0),
+            SimTime::from_ns(50.0),
+            256 << 20,
+        ))
+    };
+    let mut b = Builder::new(engine, spec);
+    let fam1 = b.stage_devices(vec![dimm(), dimm(), dimm()]);
+    let fam2 = b.stage_devices(vec![dimm(), dimm(), dimm()]);
+    let faa = b.stage_devices(vec![accel(), accel()]);
+    let fs1 = b
+        .engine
+        .add_component("fs1", FabricSwitch::new(spec.switch));
+    let fs2 = b
+        .engine
+        .add_component("fs2", FabricSwitch::new(spec.switch));
+    b.link_switches(fs1, fs2);
+    let h1 = b.make_host();
+    let h2 = b.make_host();
+    // No route pre-install: the manager fills tables (None for peer_node).
+    b.attach_to_switch(fs1, h1.fha, None);
+    b.attach_to_switch(fs2, h2.fha, None);
+    for &(fea, _) in &fam1 {
+        b.attach_to_switch(fs1, fea, None);
+    }
+    for &(fea, _) in &fam2 {
+        b.attach_to_switch(fs2, fea, None);
+    }
+    for &(fea, _) in &faa {
+        b.attach_to_switch(fs2, fea, None);
+    }
+    let manager = b
+        .engine
+        .add_component("fabric-manager", FabricManager::new(vec![fs1, fs2], None));
+    Topology {
+        hosts: b.hosts,
+        devices: b.devices,
+        switches: vec![fs1, fs2],
+        addr_map: b.map,
+        manager: Some(manager),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fcc_sim::Engine;
+
+    use super::*;
+
+    #[test]
+    fn single_switch_wires_and_routes() {
+        let mut engine = Engine::new(0);
+        let dev: Box<dyn Endpoint> = Box::new(FixedLatencyMemory::new(
+            SimTime::from_ns(100.0),
+            SimTime::from_ns(100.0),
+            1 << 20,
+        ));
+        let topo = single_switch(&mut engine, TopologySpec::default(), 2, vec![dev]);
+        assert_eq!(topo.hosts.len(), 2);
+        assert_eq!(topo.devices.len(), 1);
+        let sw = engine.component::<FabricSwitch>(topo.switches[0]);
+        assert_eq!(sw.port_count(), 3);
+        assert_eq!(sw.routing.pbr_entries(), 3);
+        // Address map covers the device capacity at FAM_BASE.
+        let d = topo.addr_map.decode(FAM_BASE).expect("mapped");
+        assert_eq!(d.node, topo.devices[0].node);
+        assert_eq!(topo.addr_map.total_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn chain_installs_transit_routes() {
+        let mut engine = Engine::new(0);
+        let mk = || -> Box<dyn Endpoint> {
+            Box::new(FixedLatencyMemory::new(
+                SimTime::from_ns(100.0),
+                SimTime::from_ns(100.0),
+                1 << 20,
+            ))
+        };
+        let topo = chain(
+            &mut engine,
+            TopologySpec::default(),
+            vec![
+                StageSpec {
+                    n_hosts: 2,
+                    devices: vec![],
+                },
+                StageSpec {
+                    n_hosts: 0,
+                    devices: vec![],
+                },
+                StageSpec {
+                    n_hosts: 0,
+                    devices: vec![mk()],
+                },
+            ],
+        );
+        assert_eq!(topo.switches.len(), 3);
+        // Middle switch must know routes to the hosts (left) and dev (right).
+        let mid = engine.component::<FabricSwitch>(topo.switches[1]);
+        assert_eq!(mid.routing.pbr_entries(), 3);
+        let dev_node = topo.devices[0].node;
+        assert!(mid.routing.route(dev_node).is_some());
+        assert!(mid.routing.route(topo.hosts[0].node).is_some());
+    }
+
+    use crate::adapter::{HostCompletion, HostOp, HostRequest};
+    use fcc_sim::{Component, Ctx, Msg};
+
+    struct Sink {
+        done: Vec<HostCompletion>,
+    }
+
+    impl Component for Sink {
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+            self.done
+                .push(msg.downcast::<HostCompletion>().expect("hc"));
+        }
+    }
+
+    #[test]
+    fn traffic_flows_host_to_device_through_switch() {
+        let mut engine = Engine::new(5);
+        let dev: Box<dyn Endpoint> = Box::new(FixedLatencyMemory::new(
+            SimTime::from_ns(100.0),
+            SimTime::from_ns(100.0),
+            1 << 24,
+        ));
+        let topo = single_switch(&mut engine, TopologySpec::default(), 2, vec![dev]);
+        let sink = engine.add_component("sink", Sink { done: vec![] });
+        for (i, h) in topo.hosts.iter().enumerate() {
+            for j in 0..10u64 {
+                engine.post(
+                    h.fha,
+                    SimTime::ZERO,
+                    HostRequest {
+                        op: if j % 2 == 0 {
+                            HostOp::Read {
+                                addr: FAM_BASE + j * 64,
+                                bytes: 64,
+                            }
+                        } else {
+                            HostOp::Write {
+                                addr: FAM_BASE + j * 64,
+                                bytes: 64,
+                            }
+                        },
+                        tag: (i as u64) * 100 + j,
+                        reply_to: sink,
+                    },
+                );
+            }
+        }
+        engine.run_until_idle();
+        let done = &engine.component::<Sink>(sink).done;
+        assert_eq!(done.len(), 20, "all requests completed through the switch");
+        // Every completion passed the switch twice (~90ns each way) plus
+        // the 100ns device: latency must exceed 280ns.
+        for c in done {
+            assert!(c.latency() > SimTime::from_ns(280.0), "{}", c.latency());
+        }
+        let sw = engine.component::<FabricSwitch>(topo.switches[0]);
+        assert!(sw.forwarded.get() >= 20 * 2, "requests + responses");
+        assert_eq!(sw.unroutable.get(), 0);
+        assert_eq!(sw.queued(), 0, "switch drained");
+    }
+
+    #[test]
+    fn figure1_discovery_installs_routes_and_carries_traffic() {
+        let mut engine = Engine::new(5);
+        let topo = figure1(&mut engine, TopologySpec::default());
+        let manager = topo.manager.expect("figure1 has a manager");
+        engine.post(manager, SimTime::ZERO, crate::manager::StartDiscovery);
+        engine.run_until_idle();
+        let fs1 = engine.component::<FabricSwitch>(topo.switches[0]);
+        // fs1 must know every endpoint: 2 hosts + 8 devices.
+        assert_eq!(fs1.routing.pbr_entries(), 10);
+        // Cross-fabric read: host 1 (on fs1) reads a FAM module behind fs2.
+        let sink = engine.add_component("sink", Sink { done: vec![] });
+        let far_dev = topo.devices[3]; // first rDIMM of FAM chassis 2.
+        let h1 = topo.hosts[0];
+        engine.post(
+            h1.fha,
+            engine.now(),
+            HostRequest {
+                op: HostOp::Read {
+                    addr: far_dev.range.base,
+                    bytes: 64,
+                },
+                tag: 1,
+                reply_to: sink,
+            },
+        );
+        engine.run_until_idle();
+        let done = &engine.component::<Sink>(sink).done;
+        assert_eq!(done.len(), 1);
+        // Two switch hops each way (~4 × 90ns) + device 100ns.
+        assert!(done[0].latency() > SimTime::from_ns(460.0));
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let mut engine = Engine::new(0);
+        let topo = figure1(&mut engine, TopologySpec::default());
+        assert_eq!(topo.hosts.len(), 2);
+        assert_eq!(topo.devices.len(), 8, "6 rDIMMs + 2 FAA engines");
+        assert_eq!(topo.switches.len(), 2);
+        assert!(topo.manager.is_some());
+        // fs1: inter-switch + host + 3 FAM = 5 ports.
+        let fs1 = engine.component::<FabricSwitch>(topo.switches[0]);
+        assert_eq!(fs1.port_count(), 5);
+        // fs2: inter-switch + host + 3 FAM + 2 FAA = 7 ports.
+        let fs2 = engine.component::<FabricSwitch>(topo.switches[1]);
+        assert_eq!(fs2.port_count(), 7);
+        // Routes not yet installed.
+        assert_eq!(fs1.routing.pbr_entries(), 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! A full-map directory for write-invalidate MESI coherence.
+//!
+//! "Fabric-attached CC-NUMA memory node [...] is usually realized via a
+//! cross-node, directory-based, write-invalidate cache coherence protocol
+//! within an FHA/FEA" (§3 D#2) — the DASH/FLASH lineage. This module is
+//! the pure protocol engine: given read/write/evict requests it returns
+//! the snoops to send and the grants to issue, and enforces the
+//! single-writer/multiple-reader invariant. The event-driven wrapper that
+//! runs it at an FEA is [`DirectoryNode`](crate::ccnuma::DirectoryNode).
+
+use std::collections::{BTreeSet, HashMap};
+
+use fcc_proto::addr::NodeId;
+
+/// Stable directory state of one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineState {
+    /// No cached copies; memory is the only holder.
+    Uncached,
+    /// Read-only copies at the listed nodes.
+    Shared(BTreeSet<NodeId>),
+    /// One writable (possibly dirty) copy.
+    Modified(NodeId),
+}
+
+/// Access grant issued to a requester once a request resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grant {
+    /// Read-only copy.
+    Shared,
+    /// Writable, exclusive copy.
+    Exclusive,
+}
+
+/// Snoop kinds the directory sends to caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopKind {
+    /// Fetch the dirty data and downgrade the holder to Shared.
+    Data,
+    /// Invalidate the copy (holder writes back if dirty).
+    Invalidate,
+}
+
+/// What the directory wants done after accepting a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirOutcome {
+    /// Resolved immediately: grant the requester (data from memory).
+    Ready(Grant),
+    /// Snoops must complete first; the caller sends them and feeds
+    /// responses to [`Directory::snoop_response`].
+    Wait(Vec<(NodeId, SnoopKind)>),
+    /// The line already has a request in flight; retry after it resolves.
+    Busy,
+}
+
+#[derive(Debug)]
+struct Pending {
+    requester: NodeId,
+    want: Grant,
+    awaiting: BTreeSet<NodeId>,
+    /// Whether any snooped node forwarded dirty data (memory update due).
+    dirty_data: bool,
+}
+
+#[derive(Debug, Default)]
+struct Line {
+    state: Option<LineState>,
+    pending: Option<Pending>,
+}
+
+/// The directory controller state for one CC-NUMA node.
+#[derive(Debug, Default)]
+pub struct Directory {
+    lines: HashMap<u64, Line>,
+    /// Snoops issued (statistics).
+    pub snoops_sent: u64,
+    /// Requests that found the line busy.
+    pub busy_rejections: u64,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state of a line (defaults to Uncached).
+    pub fn state(&self, line: u64) -> LineState {
+        self.lines
+            .get(&line)
+            .and_then(|l| l.state.clone())
+            .unwrap_or(LineState::Uncached)
+    }
+
+    /// Whether a line has an unresolved request.
+    pub fn is_busy(&self, line: u64) -> bool {
+        self.lines
+            .get(&line)
+            .map(|l| l.pending.is_some())
+            .unwrap_or(false)
+    }
+
+    /// A read request (load miss) from `requester`.
+    pub fn read(&mut self, line: u64, requester: NodeId) -> DirOutcome {
+        let entry = self.lines.entry(line).or_default();
+        if entry.pending.is_some() {
+            self.busy_rejections += 1;
+            return DirOutcome::Busy;
+        }
+        match entry.state.take().unwrap_or(LineState::Uncached) {
+            LineState::Uncached => {
+                entry.state = Some(LineState::Shared([requester].into()));
+                DirOutcome::Ready(Grant::Shared)
+            }
+            LineState::Shared(mut s) => {
+                s.insert(requester);
+                entry.state = Some(LineState::Shared(s));
+                DirOutcome::Ready(Grant::Shared)
+            }
+            LineState::Modified(owner) if owner == requester => {
+                // Owner re-reading its own line: nothing to do.
+                entry.state = Some(LineState::Modified(owner));
+                DirOutcome::Ready(Grant::Exclusive)
+            }
+            LineState::Modified(owner) => {
+                entry.state = Some(LineState::Modified(owner));
+                entry.pending = Some(Pending {
+                    requester,
+                    want: Grant::Shared,
+                    awaiting: [owner].into(),
+                    dirty_data: false,
+                });
+                self.snoops_sent += 1;
+                DirOutcome::Wait(vec![(owner, SnoopKind::Data)])
+            }
+        }
+    }
+
+    /// A write request (store miss or upgrade) from `requester`.
+    pub fn write(&mut self, line: u64, requester: NodeId) -> DirOutcome {
+        let entry = self.lines.entry(line).or_default();
+        if entry.pending.is_some() {
+            self.busy_rejections += 1;
+            return DirOutcome::Busy;
+        }
+        match entry.state.take().unwrap_or(LineState::Uncached) {
+            LineState::Uncached => {
+                entry.state = Some(LineState::Modified(requester));
+                DirOutcome::Ready(Grant::Exclusive)
+            }
+            LineState::Shared(s) => {
+                let others: BTreeSet<NodeId> =
+                    s.iter().copied().filter(|&n| n != requester).collect();
+                if others.is_empty() {
+                    entry.state = Some(LineState::Modified(requester));
+                    return DirOutcome::Ready(Grant::Exclusive);
+                }
+                entry.state = Some(LineState::Shared(s));
+                entry.pending = Some(Pending {
+                    requester,
+                    want: Grant::Exclusive,
+                    awaiting: others.clone(),
+                    dirty_data: false,
+                });
+                self.snoops_sent += others.len() as u64;
+                DirOutcome::Wait(
+                    others
+                        .into_iter()
+                        .map(|n| (n, SnoopKind::Invalidate))
+                        .collect(),
+                )
+            }
+            LineState::Modified(owner) if owner == requester => {
+                entry.state = Some(LineState::Modified(owner));
+                DirOutcome::Ready(Grant::Exclusive)
+            }
+            LineState::Modified(owner) => {
+                entry.state = Some(LineState::Modified(owner));
+                entry.pending = Some(Pending {
+                    requester,
+                    want: Grant::Exclusive,
+                    awaiting: [owner].into(),
+                    dirty_data: false,
+                });
+                self.snoops_sent += 1;
+                DirOutcome::Wait(vec![(owner, SnoopKind::Invalidate)])
+            }
+        }
+    }
+
+    /// Feeds one snoop response; returns the grant once all snoops for the
+    /// line have answered.
+    ///
+    /// `had_dirty_data` reports that the snooped cache forwarded a modified
+    /// copy (the caller must write it back to memory before granting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snoop to `from` is outstanding for `line`.
+    pub fn snoop_response(
+        &mut self,
+        line: u64,
+        from: NodeId,
+        had_dirty_data: bool,
+    ) -> Option<(NodeId, Grant, bool)> {
+        let entry = self.lines.get_mut(&line).expect("line exists");
+        let pending = entry.pending.as_mut().expect("pending request");
+        assert!(
+            pending.awaiting.remove(&from),
+            "unexpected snoop response from {from}"
+        );
+        pending.dirty_data |= had_dirty_data;
+        if !pending.awaiting.is_empty() {
+            return None;
+        }
+        let pending = entry.pending.take().expect("checked");
+        let new_state = match pending.want {
+            Grant::Shared => {
+                // Previous owner downgraded; requester joins as a sharer.
+                let mut s = BTreeSet::new();
+                if let Some(LineState::Modified(owner)) = entry.state.take() {
+                    s.insert(owner);
+                }
+                s.insert(pending.requester);
+                LineState::Shared(s)
+            }
+            Grant::Exclusive => LineState::Modified(pending.requester),
+        };
+        entry.state = Some(new_state);
+        Some((pending.requester, pending.want, pending.dirty_data))
+    }
+
+    /// An eviction notice from a cache (writeback or clean drop).
+    pub fn evict(&mut self, line: u64, from: NodeId) {
+        let Some(entry) = self.lines.get_mut(&line) else {
+            return;
+        };
+        let state = entry.state.take().unwrap_or(LineState::Uncached);
+        entry.state = Some(match state {
+            LineState::Modified(owner) if owner == from => LineState::Uncached,
+            LineState::Shared(mut s) => {
+                s.remove(&from);
+                if s.is_empty() {
+                    LineState::Uncached
+                } else {
+                    LineState::Shared(s)
+                }
+            }
+            other => other,
+        });
+    }
+
+    /// Checks the single-writer-multiple-reader invariant for all lines.
+    pub fn check_swmr(&self) -> bool {
+        self.lines.values().all(|l| match &l.state {
+            Some(LineState::Shared(s)) => !s.is_empty(),
+            _ => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    const L: u64 = 0x40;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn cold_read_grants_shared() {
+        let mut d = Directory::new();
+        assert_eq!(d.read(L, n(1)), DirOutcome::Ready(Grant::Shared));
+        assert_eq!(d.state(L), LineState::Shared([n(1)].into()));
+    }
+
+    #[test]
+    fn cold_write_grants_exclusive() {
+        let mut d = Directory::new();
+        assert_eq!(d.write(L, n(1)), DirOutcome::Ready(Grant::Exclusive));
+        assert_eq!(d.state(L), LineState::Modified(n(1)));
+    }
+
+    #[test]
+    fn write_to_shared_invalidates_all_other_sharers() {
+        let mut d = Directory::new();
+        for i in 1..=3 {
+            d.read(L, n(i));
+        }
+        let out = d.write(L, n(1));
+        let DirOutcome::Wait(snoops) = out else {
+            panic!("expected snoops, got {out:?}");
+        };
+        assert_eq!(snoops.len(), 2);
+        assert!(snoops.iter().all(|&(_, k)| k == SnoopKind::Invalidate));
+        // Responses trickle in; grant fires on the last.
+        assert_eq!(d.snoop_response(L, n(2), false), None);
+        let grant = d.snoop_response(L, n(3), false).expect("resolved");
+        assert_eq!(grant, (n(1), Grant::Exclusive, false));
+        assert_eq!(d.state(L), LineState::Modified(n(1)));
+    }
+
+    #[test]
+    fn read_of_modified_downgrades_owner() {
+        let mut d = Directory::new();
+        d.write(L, n(1));
+        let out = d.read(L, n(2));
+        let DirOutcome::Wait(snoops) = out else {
+            panic!("expected snoop");
+        };
+        assert_eq!(snoops, vec![(n(1), SnoopKind::Data)]);
+        let grant = d.snoop_response(L, n(1), true).expect("resolved");
+        assert_eq!(grant, (n(2), Grant::Shared, true));
+        assert_eq!(d.state(L), LineState::Shared([n(1), n(2)].into()));
+    }
+
+    #[test]
+    fn upgrade_by_sole_sharer_is_instant() {
+        let mut d = Directory::new();
+        d.read(L, n(1));
+        assert_eq!(d.write(L, n(1)), DirOutcome::Ready(Grant::Exclusive));
+    }
+
+    #[test]
+    fn busy_line_rejects_until_resolved() {
+        let mut d = Directory::new();
+        d.write(L, n(1));
+        let DirOutcome::Wait(_) = d.write(L, n(2)) else {
+            panic!("expected snoop wait");
+        };
+        assert_eq!(d.read(L, n(3)), DirOutcome::Busy);
+        assert_eq!(d.busy_rejections, 1);
+        d.snoop_response(L, n(1), true);
+        assert!(!d.is_busy(L));
+        assert!(matches!(d.read(L, n(3)), DirOutcome::Wait(_)));
+    }
+
+    #[test]
+    fn eviction_clears_state() {
+        let mut d = Directory::new();
+        d.read(L, n(1));
+        d.read(L, n(2));
+        d.evict(L, n(1));
+        assert_eq!(d.state(L), LineState::Shared([n(2)].into()));
+        d.evict(L, n(2));
+        assert_eq!(d.state(L), LineState::Uncached);
+        // Modified eviction (writeback).
+        d.write(L, n(3));
+        d.evict(L, n(3));
+        assert_eq!(d.state(L), LineState::Uncached);
+    }
+
+    #[test]
+    fn owner_rewrite_is_silent() {
+        let mut d = Directory::new();
+        d.write(L, n(1));
+        assert_eq!(d.write(L, n(1)), DirOutcome::Ready(Grant::Exclusive));
+        assert_eq!(d.snoops_sent, 0);
+    }
+
+    proptest! {
+        /// Random single-line workload: drive the protocol to completion
+        /// after every request and check SWMR plus state sanity.
+        #[test]
+        fn swmr_invariant_holds(ops in prop::collection::vec((0u8..3, 1u16..5), 1..100)) {
+            let mut d = Directory::new();
+            for (op, node) in ops {
+                let node = n(node);
+                let outcome = match op {
+                    0 => d.read(L, node),
+                    1 => d.write(L, node),
+                    _ => {
+                        d.evict(L, node);
+                        continue;
+                    }
+                };
+                if let DirOutcome::Wait(snoops) = outcome {
+                    // Answer snoops immediately and in order.
+                    let k = snoops.len();
+                    for (i, (target, _)) in snoops.into_iter().enumerate() {
+                        let r = d.snoop_response(L, target, true);
+                        prop_assert_eq!(r.is_some(), i == k - 1);
+                    }
+                }
+                prop_assert!(d.check_swmr());
+                prop_assert!(!d.is_busy(L));
+            }
+        }
+    }
+}

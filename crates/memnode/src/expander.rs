@@ -1,0 +1,206 @@
+//! The fabric-attached CPU-less NUMA memory node (CXL Type 3 expander).
+//!
+//! "A standalone memory expander with no processors. [...] This node can
+//! be either owned exclusively by a host CPU or shared across multiple
+//! hosts (where the FEA needs to partition the capacity and enforce
+//! coherence at the device)" (§3 D#2). [`ExpanderDevice`] wraps a
+//! [`DramDevice`] with per-host partitioning: in shared mode each host is
+//! confined to its slice, and cross-partition accesses are rejected at the
+//! device, as the paper assigns that duty to the FEA.
+
+use std::collections::HashMap;
+
+use fcc_proto::addr::NodeId;
+use fcc_proto::channel::{MemOpcode, Transaction, TransactionKind};
+use fcc_sim::SimTime;
+
+use fcc_fabric::endpoint::{Endpoint, EndpointResponse};
+
+use crate::dram::{DramDevice, DramTiming};
+
+/// Ownership mode of the expander.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ownership {
+    /// One host owns the whole capacity.
+    Exclusive(NodeId),
+    /// Capacity partitioned equally among the listed hosts, in order.
+    Shared(Vec<NodeId>),
+}
+
+/// A CXL Type 3 memory expander.
+#[derive(Debug)]
+pub struct ExpanderDevice {
+    dram: DramDevice,
+    ownership: Ownership,
+    partition_bytes: u64,
+    partition_of: HashMap<NodeId, u64>,
+    /// Accesses rejected for crossing a partition boundary.
+    pub violations: u64,
+}
+
+impl ExpanderDevice {
+    /// Creates an expander of `capacity` bytes with the given ownership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared ownership list is empty.
+    pub fn new(timing: DramTiming, capacity: u64, ownership: Ownership) -> Self {
+        let (partition_bytes, partition_of) = match &ownership {
+            Ownership::Exclusive(owner) => {
+                let mut m = HashMap::new();
+                m.insert(*owner, 0u64);
+                (capacity, m)
+            }
+            Ownership::Shared(hosts) => {
+                assert!(!hosts.is_empty(), "shared expander with no hosts");
+                let slice = capacity / hosts.len() as u64;
+                let m = hosts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &h)| (h, i as u64 * slice))
+                    .collect();
+                (slice, m)
+            }
+        };
+        ExpanderDevice {
+            dram: DramDevice::new(timing, capacity),
+            ownership,
+            partition_bytes,
+            partition_of,
+            violations: 0,
+        }
+    }
+
+    /// The ownership configuration.
+    pub fn ownership(&self) -> &Ownership {
+        &self.ownership
+    }
+
+    /// The DRAM backing store (row-buffer statistics).
+    pub fn dram(&self) -> &DramDevice {
+        &self.dram
+    }
+
+    /// Translates a host's partition-relative DPA to an absolute device
+    /// address; `None` if the host is unknown or the address exceeds its
+    /// partition.
+    fn translate(&self, host: NodeId, dpa: u64) -> Option<u64> {
+        let base = *self.partition_of.get(&host)?;
+        if dpa >= self.partition_bytes {
+            return None;
+        }
+        Some(base + dpa)
+    }
+}
+
+impl Endpoint for ExpanderDevice {
+    fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse {
+        let Some(abs) = self.translate(txn.src, txn.addr) else {
+            self.violations += 1;
+            // Poisoned completion: zero-latency error response.
+            return EndpointResponse {
+                kind: Some(TransactionKind::Mem(MemOpcode::Cmp)),
+                bytes: 0,
+                ready_at: now,
+            };
+        };
+        let bytes = txn.bytes.max(64);
+        let ready_at = self.dram.access(abs, bytes, now);
+        match txn.kind {
+            TransactionKind::Mem(op) if op.carries_data() => EndpointResponse {
+                kind: Some(TransactionKind::Mem(MemOpcode::Cmp)),
+                bytes: 0,
+                ready_at,
+            },
+            _ => EndpointResponse {
+                kind: Some(TransactionKind::Mem(MemOpcode::MemData)),
+                bytes,
+                ready_at,
+            },
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        match &self.ownership {
+            Ownership::Exclusive(_) => self.partition_bytes,
+            Ownership::Shared(hosts) => self.partition_bytes * hosts.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(src: u16, addr: u64, kind: TransactionKind) -> Transaction {
+        Transaction {
+            id: 1,
+            kind,
+            addr,
+            bytes: 64,
+            src: NodeId(src),
+            dst: NodeId(100),
+        }
+    }
+
+    #[test]
+    fn exclusive_owner_sees_full_capacity() {
+        let mut dev = ExpanderDevice::new(
+            DramTiming::default(),
+            1 << 20,
+            Ownership::Exclusive(NodeId(1)),
+        );
+        let r = dev.service(
+            &txn(1, (1 << 20) - 64, TransactionKind::Mem(MemOpcode::MemRd)),
+            SimTime::ZERO,
+        );
+        assert_eq!(r.kind, Some(TransactionKind::Mem(MemOpcode::MemData)));
+        assert_eq!(dev.violations, 0);
+    }
+
+    #[test]
+    fn shared_partitions_isolate_hosts() {
+        let mut dev = ExpanderDevice::new(
+            DramTiming::default(),
+            1 << 20,
+            Ownership::Shared(vec![NodeId(1), NodeId(2)]),
+        );
+        // Host 2's DPA 0 maps to the second half: same DPA, different rows.
+        let a = dev.translate(NodeId(1), 0).expect("host 1");
+        let b = dev.translate(NodeId(2), 0).expect("host 2");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1 << 19);
+        // DPA beyond the slice is rejected.
+        assert!(dev.translate(NodeId(1), 1 << 19).is_none());
+        let r = dev.service(
+            &txn(1, 1 << 19, TransactionKind::Mem(MemOpcode::MemRd)),
+            SimTime::ZERO,
+        );
+        assert_eq!(r.ready_at, SimTime::ZERO, "violation is not serviced");
+        assert_eq!(dev.violations, 1);
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let mut dev = ExpanderDevice::new(
+            DramTiming::default(),
+            1 << 20,
+            Ownership::Exclusive(NodeId(1)),
+        );
+        dev.service(
+            &txn(9, 0, TransactionKind::Mem(MemOpcode::MemRd)),
+            SimTime::ZERO,
+        );
+        assert_eq!(dev.violations, 1);
+    }
+
+    #[test]
+    fn capacity_reports_whole_device() {
+        let dev = ExpanderDevice::new(
+            DramTiming::default(),
+            1 << 20,
+            Ownership::Shared(vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]),
+        );
+        assert_eq!(dev.capacity(), 1 << 20);
+    }
+}

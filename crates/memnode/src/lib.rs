@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Fabric-attached memory node models (§3 Difference #2 of the paper).
+//!
+//! "The memory fabric enriches the memory node types based on how device
+//! memory is exposed and architected." This crate implements the four node
+//! types the paper enumerates, plus the DRAM substrate they share:
+//!
+//! * [`dram`] — a banked DRAM device with open-page row-buffer timing,
+//!   used as the backing store of every node type.
+//! * [`expander`] — the fabric-attached **CPU-less NUMA** node (CXL Type 3
+//!   memory expander), exclusive or shared with device-side partitioning.
+//! * [`directory`] + [`ccnuma`] — the **CC-NUMA** node: a full-map
+//!   directory-based MESI write-invalidate protocol (DASH/FLASH lineage)
+//!   running at the FEA, snooping host caches over the fabric.
+//! * [`noncc`] — the **non-CC NUMA** node: shared without hardware
+//!   coherence (SCC/Cell SPE lineage); software manages consistency and
+//!   the device records write-write hazards it observes.
+//! * [`coma`] — the **COMA** attraction-memory node (DDM lineage): lines
+//!   migrate and replicate toward their users under a directory that
+//!   preserves the last copy.
+//! * [`profile`] — latency/capability profiles per node type, consumed by
+//!   the UniFabric heap's placement policy.
+
+pub mod ccnuma;
+pub mod coma;
+pub mod directory;
+pub mod dram;
+pub mod expander;
+pub mod noncc;
+pub mod profile;
+
+pub use ccnuma::DirectoryNode;
+pub use coma::{AttractionMemory, ComaDirectory};
+pub use directory::{DirOutcome, Directory, Grant, LineState, SnoopKind};
+pub use dram::{DramDevice, DramTiming};
+pub use expander::ExpanderDevice;
+pub use noncc::NonCoherentShared;
+pub use profile::{MemNodeKind, MemNodeProfile};

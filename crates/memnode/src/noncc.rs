@@ -1,0 +1,198 @@
+//! The non-CC NUMA node: shared memory without hardware coherence.
+//!
+//! "Fabric-attached Non-CC-NUMA memory node [...] operates similarly to
+//! the CC-NUMA one but lacks cache coherence, e.g., Intel's SCC and IBM
+//! Cell's SPE. This simplifies the hardware design of an FHA/FEA, but
+//! complicates the software design and implementation" (§3 D#2).
+//!
+//! [`NonCoherentShared`] services reads and writes with no snooping at
+//! all — that is the hardware simplification — and, to make the *software
+//! burden* measurable, records a **hazard** whenever a host writes a line
+//! last written by a different host with no intervening flush: exactly the
+//! update a coherent node would have ordered, and the one software fences
+//! (CLFlush in this model) must now order explicitly.
+
+use std::collections::HashMap;
+
+use fcc_proto::addr::NodeId;
+use fcc_proto::channel::{CacheOpcode, MemOpcode, Transaction, TransactionKind};
+use fcc_sim::SimTime;
+
+use fcc_fabric::endpoint::{Endpoint, EndpointResponse};
+
+use crate::dram::{DramDevice, DramTiming};
+
+const LINE: u64 = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct LineMeta {
+    last_writer: NodeId,
+    flushed: bool,
+}
+
+/// A software-coherent shared memory node.
+#[derive(Debug)]
+pub struct NonCoherentShared {
+    dram: DramDevice,
+    meta: HashMap<u64, LineMeta>,
+    /// Write-write transitions between hosts without an intervening flush.
+    pub hazards: u64,
+    /// Explicit flushes observed.
+    pub flushes: u64,
+}
+
+impl NonCoherentShared {
+    /// Creates a node of `capacity` bytes.
+    pub fn new(timing: DramTiming, capacity: u64) -> Self {
+        NonCoherentShared {
+            dram: DramDevice::new(timing, capacity),
+            meta: HashMap::new(),
+            hazards: 0,
+            flushes: 0,
+        }
+    }
+
+    /// The DRAM backing store.
+    pub fn dram(&self) -> &DramDevice {
+        &self.dram
+    }
+
+    fn note_write(&mut self, line: u64, writer: NodeId) {
+        match self.meta.get_mut(&line) {
+            Some(meta) => {
+                if meta.last_writer != writer && !meta.flushed {
+                    self.hazards += 1;
+                }
+                meta.last_writer = writer;
+                meta.flushed = false;
+            }
+            None => {
+                self.meta.insert(
+                    line,
+                    LineMeta {
+                        last_writer: writer,
+                        flushed: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn note_flush(&mut self, line: u64) {
+        self.flushes += 1;
+        if let Some(meta) = self.meta.get_mut(&line) {
+            meta.flushed = true;
+        }
+    }
+}
+
+impl Endpoint for NonCoherentShared {
+    fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse {
+        let line = txn.addr & !(LINE - 1);
+        match txn.kind {
+            TransactionKind::Cache(CacheOpcode::CLFlush) => {
+                self.note_flush(line);
+                EndpointResponse {
+                    kind: Some(TransactionKind::Cache(CacheOpcode::Go)),
+                    bytes: 0,
+                    ready_at: now + SimTime::from_ns(5.0),
+                }
+            }
+            TransactionKind::Mem(op) if op.carries_data() => {
+                self.note_write(line, txn.src);
+                let ready_at = self.dram.access(txn.addr, txn.bytes.max(64), now);
+                EndpointResponse {
+                    kind: Some(TransactionKind::Mem(MemOpcode::Cmp)),
+                    bytes: 0,
+                    ready_at,
+                }
+            }
+            _ => {
+                let bytes = txn.bytes.max(64);
+                let ready_at = self.dram.access(txn.addr, bytes, now);
+                EndpointResponse {
+                    kind: Some(TransactionKind::Mem(MemOpcode::MemData)),
+                    bytes,
+                    ready_at,
+                }
+            }
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.dram.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(src: u16, addr: u64) -> Transaction {
+        Transaction {
+            id: 1,
+            kind: TransactionKind::Mem(MemOpcode::MemWr),
+            addr,
+            bytes: 64,
+            src: NodeId(src),
+            dst: NodeId(100),
+        }
+    }
+
+    fn flush(src: u16, addr: u64) -> Transaction {
+        Transaction {
+            kind: TransactionKind::Cache(CacheOpcode::CLFlush),
+            bytes: 0,
+            ..write(src, addr)
+        }
+    }
+
+    #[test]
+    fn same_host_rewrites_are_safe() {
+        let mut dev = NonCoherentShared::new(DramTiming::default(), 1 << 20);
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            now = dev.service(&write(1, 0x100), now).ready_at;
+        }
+        assert_eq!(dev.hazards, 0);
+    }
+
+    #[test]
+    fn cross_host_unfenced_write_is_a_hazard() {
+        let mut dev = NonCoherentShared::new(DramTiming::default(), 1 << 20);
+        let t = dev.service(&write(1, 0x100), SimTime::ZERO).ready_at;
+        dev.service(&write(2, 0x100), t);
+        assert_eq!(dev.hazards, 1);
+    }
+
+    #[test]
+    fn flush_orders_the_handoff() {
+        let mut dev = NonCoherentShared::new(DramTiming::default(), 1 << 20);
+        let t = dev.service(&write(1, 0x100), SimTime::ZERO).ready_at;
+        let t = dev.service(&flush(1, 0x100), t).ready_at;
+        dev.service(&write(2, 0x100), t);
+        assert_eq!(dev.hazards, 0);
+        assert_eq!(dev.flushes, 1);
+    }
+
+    #[test]
+    fn distinct_lines_do_not_interfere() {
+        let mut dev = NonCoherentShared::new(DramTiming::default(), 1 << 20);
+        let t = dev.service(&write(1, 0x100), SimTime::ZERO).ready_at;
+        dev.service(&write(2, 0x140), t);
+        assert_eq!(dev.hazards, 0, "different cachelines");
+    }
+
+    #[test]
+    fn reads_never_hazard() {
+        let mut dev = NonCoherentShared::new(DramTiming::default(), 1 << 20);
+        let rd = Transaction {
+            kind: TransactionKind::Mem(MemOpcode::MemRd),
+            ..write(2, 0x100)
+        };
+        let t = dev.service(&write(1, 0x100), SimTime::ZERO).ready_at;
+        let r = dev.service(&rd, t);
+        assert_eq!(r.kind, Some(TransactionKind::Mem(MemOpcode::MemData)));
+        assert_eq!(dev.hazards, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Memory node profiles: capabilities and costs per node type.
+//!
+//! The UniFabric heap (design principle #2) places objects by comparing
+//! node types: "Designing an efficient data structure should consider the
+//! memory layout across different memory nodes, their access distribution,
+//! and data locality" (§4 DP#2). A [`MemNodeProfile`] summarizes what the
+//! placement policy needs: base access latencies, sharing capability, and
+//! whether hardware maintains coherence.
+
+use serde::{Deserialize, Serialize};
+
+use fcc_sim::SimTime;
+
+/// The memory node taxonomy of §3 Difference #2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemNodeKind {
+    /// Host-local DRAM (not fabric-attached; the baseline tier).
+    HostLocal,
+    /// Fabric-attached CPU-less NUMA memory node (CXL Type 3 expander).
+    CpulessNuma,
+    /// Fabric-attached CC-NUMA node (hardware directory coherence).
+    CcNuma,
+    /// Fabric-attached non-CC NUMA node (software-managed coherence).
+    NonCcNuma,
+    /// Fabric-attached COMA attraction-memory node.
+    Coma,
+}
+
+impl MemNodeKind {
+    /// All fabric-attached kinds (everything but host-local).
+    pub const FABRIC_KINDS: [MemNodeKind; 4] = [
+        MemNodeKind::CpulessNuma,
+        MemNodeKind::CcNuma,
+        MemNodeKind::NonCcNuma,
+        MemNodeKind::Coma,
+    ];
+
+    /// Whether hardware keeps copies coherent on this node type.
+    pub fn hw_coherent(self) -> bool {
+        matches!(
+            self,
+            MemNodeKind::HostLocal | MemNodeKind::CcNuma | MemNodeKind::Coma
+        )
+    }
+
+    /// Whether multiple hosts may map the node simultaneously.
+    pub fn shareable(self) -> bool {
+        !matches!(self, MemNodeKind::HostLocal)
+    }
+
+    /// Whether the node can run computation near the data (node
+    /// replication needs processing units; "inapplicable for the CPU-less
+    /// NUMA one since the remote memory expander has no processing units").
+    pub fn has_processing(self) -> bool {
+        matches!(self, MemNodeKind::CcNuma | MemNodeKind::Coma)
+    }
+}
+
+/// Placement-relevant costs of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemNodeProfile {
+    /// The node type.
+    pub kind: MemNodeKind,
+    /// Expected 64 B read latency from the local host.
+    pub read_latency: SimTime,
+    /// Expected 64 B write latency from the local host.
+    pub write_latency: SimTime,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Extra per-write coherence cost when the line is shared (snoop
+    /// fan-out for CC-NUMA, software invalidation for non-CC).
+    pub shared_write_penalty: SimTime,
+}
+
+impl MemNodeProfile {
+    /// The Omega-calibrated profile for a node kind (Table 2 anchors the
+    /// host-local and CPU-less rows; the others are derived).
+    pub fn omega_like(kind: MemNodeKind, capacity: u64) -> Self {
+        let (read, write, penalty) = match kind {
+            // Table 2: local 111.7/119.3 ns.
+            MemNodeKind::HostLocal => (111.7, 119.3, 0.0),
+            // Table 2: remote 1575.3/1613.3 ns.
+            MemNodeKind::CpulessNuma => (1575.3, 1613.3, 0.0),
+            // Directory adds a lookup on the critical path; shared writes
+            // pay invalidation round trips.
+            MemNodeKind::CcNuma => (1675.0, 1725.0, 1800.0),
+            // No coherence hardware: slightly cheaper than the expander,
+            // but software fences cost on shared writes.
+            MemNodeKind::NonCcNuma => (1550.0, 1590.0, 2500.0),
+            // Attraction memory: hits served near-locally after migration,
+            // misses pay a directory + transfer cost; this profile reports
+            // the steady-state (post-migration) hit latency.
+            MemNodeKind::Coma => (450.0, 500.0, 900.0),
+        };
+        MemNodeProfile {
+            kind,
+            read_latency: SimTime::from_ns(read),
+            write_latency: SimTime::from_ns(write),
+            capacity,
+            shared_write_penalty: SimTime::from_ns(penalty),
+        }
+    }
+
+    /// Cost of one access for placement math.
+    pub fn access_cost(&self, is_write: bool, shared: bool) -> SimTime {
+        let base = if is_write {
+            self.write_latency
+        } else {
+            self.read_latency
+        };
+        if is_write && shared {
+            base + self.shared_write_penalty
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_capabilities() {
+        assert!(MemNodeKind::HostLocal.hw_coherent());
+        assert!(!MemNodeKind::HostLocal.shareable());
+        assert!(MemNodeKind::CpulessNuma.shareable());
+        assert!(!MemNodeKind::CpulessNuma.has_processing());
+        assert!(MemNodeKind::CcNuma.hw_coherent());
+        assert!(MemNodeKind::CcNuma.has_processing());
+        assert!(!MemNodeKind::NonCcNuma.hw_coherent());
+        assert!(MemNodeKind::Coma.hw_coherent());
+    }
+
+    #[test]
+    fn omega_profile_matches_table2_anchors() {
+        let local = MemNodeProfile::omega_like(MemNodeKind::HostLocal, 1 << 30);
+        assert!((local.read_latency.as_ns() - 111.7).abs() < 0.01);
+        let remote = MemNodeProfile::omega_like(MemNodeKind::CpulessNuma, 1 << 30);
+        assert!((remote.read_latency.as_ns() - 1575.3).abs() < 0.01);
+        // The paper's 10x+ local-vs-remote gap.
+        assert!(remote.read_latency.as_ns() / local.read_latency.as_ns() > 10.0);
+    }
+
+    #[test]
+    fn shared_writes_cost_more_only_where_coherence_acts() {
+        let cc = MemNodeProfile::omega_like(MemNodeKind::CcNuma, 1 << 30);
+        assert!(cc.access_cost(true, true) > cc.access_cost(true, false));
+        assert_eq!(cc.access_cost(false, true), cc.access_cost(false, false));
+        let exp = MemNodeProfile::omega_like(MemNodeKind::CpulessNuma, 1 << 30);
+        assert_eq!(exp.access_cost(true, true), exp.access_cost(true, false));
+    }
+}

@@ -1,0 +1,305 @@
+//! Host physical address maps and fabric-attached memory interleaving.
+//!
+//! A composable infrastructure exposes FAM capacity into each host's
+//! physical address space. The [`AddrMap`] decodes a host physical address
+//! to the fabric node backing it, optionally interleaving a range across
+//! several FAMs at a fixed granularity (CXL calls this an interleave set).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node (host, switch, FAM, FAA) on the fabric.
+///
+/// PBR addressing uses 12-bit IDs ("up to 4096 unique edge ports", §2.1);
+/// [`NodeId::is_pbr_addressable`] checks that bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Maximum edge ports addressable by 12-bit PBR IDs.
+    pub const PBR_LIMIT: u16 = 4096;
+
+    /// Whether this id fits in a 12-bit PBR ID.
+    pub fn is_pbr_addressable(self) -> bool {
+        self.0 < Self::PBR_LIMIT
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Interleave granularity for a multi-FAM range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterleaveGranularity {
+    /// 256-byte interleave (CXL default for bandwidth spreading).
+    B256,
+    /// 4 KiB (page) interleave.
+    K4,
+    /// 2 MiB (huge page) interleave.
+    M2,
+}
+
+impl InterleaveGranularity {
+    /// Granularity in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            InterleaveGranularity::B256 => 256,
+            InterleaveGranularity::K4 => 4096,
+            InterleaveGranularity::M2 => 2 * 1024 * 1024,
+        }
+    }
+}
+
+/// A half-open physical address range `[base, base + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddrRange {
+    /// First byte covered.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl AddrRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or wraps the address space.
+    pub fn new(base: u64, len: u64) -> Self {
+        assert!(len > 0, "empty range");
+        assert!(base.checked_add(len).is_some(), "range wraps");
+        AddrRange { base, len }
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.len
+    }
+
+    /// One past the last covered byte.
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+
+    /// Whether two ranges overlap.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.base < other.end() && other.base < self.end()
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Region {
+    range: AddrRange,
+    targets: Vec<NodeId>,
+    granularity: InterleaveGranularity,
+}
+
+/// Decodes host physical addresses to backing fabric nodes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AddrMap {
+    regions: Vec<Region>,
+}
+
+/// Result of decoding an address: the backing node plus the device-local
+/// offset within that node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The node backing the address.
+    pub node: NodeId,
+    /// Device physical address (offset within the node's contribution).
+    pub dpa: u64,
+}
+
+impl AddrMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps `range` to a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` overlaps an existing region.
+    pub fn add_direct(&mut self, range: AddrRange, node: NodeId) {
+        self.add_interleaved(range, vec![node], InterleaveGranularity::K4);
+    }
+
+    /// Maps `range` across `targets`, round-robin at `granularity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty, `range.len` is not a multiple of
+    /// `granularity × targets.len()`, or the range overlaps an existing
+    /// region.
+    pub fn add_interleaved(
+        &mut self,
+        range: AddrRange,
+        targets: Vec<NodeId>,
+        granularity: InterleaveGranularity,
+    ) {
+        assert!(!targets.is_empty(), "interleave set must be non-empty");
+        let stripe = granularity.bytes() * targets.len() as u64;
+        assert!(
+            range.len.is_multiple_of(stripe),
+            "range length {} not a multiple of stripe {stripe}",
+            range.len
+        );
+        for r in &self.regions {
+            assert!(!r.range.overlaps(&range), "overlapping address regions");
+        }
+        self.regions.push(Region {
+            range,
+            targets,
+            granularity,
+        });
+    }
+
+    /// Decodes `addr` to its backing node and device-local offset.
+    pub fn decode(&self, addr: u64) -> Option<Decoded> {
+        let region = self.regions.iter().find(|r| r.range.contains(addr))?;
+        let offset = addr - region.range.base;
+        let g = region.granularity.bytes();
+        let n = region.targets.len() as u64;
+        let chunk = offset / g;
+        let which = (chunk % n) as usize;
+        // DPA: collapse the interleave stripes this node participates in.
+        let dpa = (chunk / n) * g + offset % g;
+        Some(Decoded {
+            node: region.targets[which],
+            dpa,
+        })
+    }
+
+    /// Total mapped capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.range.len).sum()
+    }
+
+    /// All nodes referenced by the map (with duplicates removed).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .regions
+            .iter()
+            .flat_map(|r| r.targets.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    #[test]
+    fn pbr_limit() {
+        assert!(NodeId(4095).is_pbr_addressable());
+        assert!(!NodeId(4096).is_pbr_addressable());
+    }
+
+    #[test]
+    fn direct_region_decodes_with_dpa() {
+        let mut map = AddrMap::new();
+        map.add_direct(AddrRange::new(0x1_0000, 0x1_0000), NodeId(7));
+        let d = map.decode(0x1_8000).expect("mapped");
+        assert_eq!(d.node, NodeId(7));
+        assert_eq!(d.dpa, 0x8000);
+        assert!(map.decode(0x0).is_none());
+        assert!(map.decode(0x2_0000).is_none());
+    }
+
+    #[test]
+    fn interleave_round_robins() {
+        let mut map = AddrMap::new();
+        let targets = vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        map.add_interleaved(
+            AddrRange::new(0, 4096 * 4),
+            targets.clone(),
+            InterleaveGranularity::B256,
+        );
+        for chunk in 0..64u64 {
+            let d = map.decode(chunk * 256).expect("mapped");
+            assert_eq!(d.node, targets[(chunk % 4) as usize]);
+            assert_eq!(d.dpa, (chunk / 4) * 256);
+        }
+    }
+
+    #[test]
+    fn capacity_splits_evenly_across_interleave_set() {
+        let mut map = AddrMap::new();
+        map.add_interleaved(
+            AddrRange::new(0, 1 << 20),
+            vec![NodeId(1), NodeId(2)],
+            InterleaveGranularity::K4,
+        );
+        // Each node sees half the DPA space: max dpa < 512 KiB.
+        let d = map.decode((1 << 20) - 1).expect("mapped");
+        assert!(d.dpa < 1 << 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_rejected() {
+        let mut map = AddrMap::new();
+        map.add_direct(AddrRange::new(0, 8192), NodeId(1));
+        map.add_direct(AddrRange::new(4096, 8192), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_interleave_rejected() {
+        let mut map = AddrMap::new();
+        map.add_interleaved(
+            AddrRange::new(0, 4096 + 256),
+            vec![NodeId(1), NodeId(2)],
+            InterleaveGranularity::K4,
+        );
+    }
+
+    #[test]
+    fn nodes_deduplicated() {
+        let mut map = AddrMap::new();
+        map.add_direct(AddrRange::new(0, 4096), NodeId(3));
+        map.add_direct(AddrRange::new(4096, 4096), NodeId(3));
+        map.add_direct(AddrRange::new(8192, 4096), NodeId(1));
+        assert_eq!(map.nodes(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(map.total_bytes(), 3 * 4096);
+    }
+
+    proptest! {
+        #[test]
+        fn every_mapped_addr_decodes(addr in 0u64..(1 << 22)) {
+            let mut map = AddrMap::new();
+            map.add_interleaved(
+                AddrRange::new(0, 1 << 22),
+                vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+                InterleaveGranularity::B256,
+            );
+            let d = map.decode(addr).expect("in range");
+            prop_assert!(d.node.0 >= 1 && d.node.0 <= 4);
+            prop_assert!(d.dpa < (1 << 22) / 4);
+        }
+
+        #[test]
+        fn dpa_is_injective_per_node(a in 0u64..(1 << 16), b in 0u64..(1 << 16)) {
+            // Two distinct addresses mapping to the same node get distinct DPAs.
+            let mut map = AddrMap::new();
+            map.add_interleaved(
+                AddrRange::new(0, 1 << 16),
+                vec![NodeId(1), NodeId(2)],
+                InterleaveGranularity::B256,
+            );
+            let da = map.decode(a).expect("in range");
+            let db = map.decode(b).expect("in range");
+            if a != b && da.node == db.node {
+                prop_assert_ne!(da.dpa, db.dpa);
+            }
+        }
+    }
+}

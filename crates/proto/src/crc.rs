@@ -1,0 +1,126 @@
+//! CRC implementations used by the link layer.
+//!
+//! CXL 68 B flits are protected by a CRC-16 and 256 B flits by a CRC-32;
+//! we implement both as table-driven computations. The exact polynomials in
+//! the CXL specification are not public in full detail, so we use the
+//! standard CRC-16/CCITT-FALSE and CRC-32 (IEEE 802.3) polynomials — the
+//! simulator only needs detection behaviour, not bit compatibility.
+
+/// CRC-16/CCITT-FALSE: polynomial 0x1021, init 0xFFFF, no reflection.
+pub fn crc16(data: &[u8]) -> u16 {
+    const TABLE: [u16; 256] = build_crc16_table();
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        let idx = ((crc >> 8) ^ b as u16) & 0xFF;
+        crc = (crc << 8) ^ TABLE[idx as usize];
+    }
+    crc
+}
+
+const fn build_crc16_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3): reflected polynomial 0xEDB88320, init/final 0xFFFFFFFF.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = build_crc32_table();
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        let idx = (crc ^ b as u32) & 0xFF;
+        crc = (crc >> 8) ^ TABLE[idx as usize];
+    }
+    !crc
+}
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc16(b""), 0xFFFF);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn single_bit_flips_are_detected_crc16(
+            data in prop::collection::vec(any::<u8>(), 1..64),
+            bit in 0usize..8,
+            byte_sel in any::<prop::sample::Index>(),
+        ) {
+            let mut corrupted = data.clone();
+            let byte = byte_sel.index(corrupted.len());
+            corrupted[byte] ^= 1 << bit;
+            prop_assert_ne!(crc16(&data), crc16(&corrupted));
+        }
+
+        #[test]
+        fn single_bit_flips_are_detected_crc32(
+            data in prop::collection::vec(any::<u8>(), 1..256),
+            bit in 0usize..8,
+            byte_sel in any::<prop::sample::Index>(),
+        ) {
+            let mut corrupted = data.clone();
+            let byte = byte_sel.index(corrupted.len());
+            corrupted[byte] ^= 1 << bit;
+            prop_assert_ne!(crc32(&data), crc32(&corrupted));
+        }
+
+        #[test]
+        fn crc_is_deterministic(data in prop::collection::vec(any::<u8>(), 0..128)) {
+            prop_assert_eq!(crc16(&data), crc16(&data));
+            prop_assert_eq!(crc32(&data), crc32(&data));
+        }
+    }
+}

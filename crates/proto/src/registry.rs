@@ -1,0 +1,113 @@
+//! Table 1 of the paper: the commodity memory fabrics.
+//!
+//! A small declarative registry so the experiment harness can print the
+//! table verbatim and tests can sanity-check the history (Gen-Z and
+//! OpenCAPI merged into CXL).
+
+use serde::Serialize;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FabricSpec {
+    /// Interconnect name.
+    pub interconnect: &'static str,
+    /// Driving vendor / consortium.
+    pub vendor: &'static str,
+    /// Years of active development (inclusive start).
+    pub active_from: u16,
+    /// End year of active development; `None` means ongoing ("now").
+    pub active_to: Option<u16>,
+    /// Published specification revisions.
+    pub specifications: &'static [&'static str],
+    /// Product demonstrations cited by the paper.
+    pub demonstrations: &'static [&'static str],
+    /// Whether the effort has merged into CXL.
+    pub merged_into_cxl: bool,
+}
+
+/// The four commodity memory fabrics of Table 1.
+pub const COMMODITY_FABRICS: [FabricSpec; 4] = [
+    FabricSpec {
+        interconnect: "Gen-Z",
+        vendor: "HPE/Gen-Z Consortium",
+        active_from: 2016,
+        active_to: Some(2021),
+        specifications: &["Gen-Z 1.0", "Gen-Z 1.1"],
+        demonstrations: &["Gen-Z Media Kit", "Gen-Z ChipSet for ExtraScale Fabric"],
+        merged_into_cxl: true,
+    },
+    FabricSpec {
+        interconnect: "CAPI/OpenCAPI",
+        vendor: "IBM/OpenCAPI Consortium",
+        active_from: 2014,
+        active_to: Some(2022),
+        specifications: &["CAPI 1.0", "CAPI 2.0", "OpenCAPI 3.0", "OpenCAPI 4.0"],
+        demonstrations: &["BlueLink in POWER9"],
+        merged_into_cxl: true,
+    },
+    FabricSpec {
+        interconnect: "CCIX",
+        vendor: "Xilinx/CCIX Consortium",
+        active_from: 2016,
+        active_to: None,
+        specifications: &["CCIX 1.0", "CCIX 1.1", "CCIX 2.0"],
+        demonstrations: &["CMN-700 Coherent Mesh Network"],
+        merged_into_cxl: false,
+    },
+    FabricSpec {
+        interconnect: "CXL",
+        vendor: "Intel/CXL Consortium",
+        active_from: 2019,
+        active_to: None,
+        specifications: &["CXL 1.0", "CXL 1.1", "CXL 2.0", "CXL 3.0"],
+        demonstrations: &["Omega Fabric", "Leo Memory Platform"],
+        merged_into_cxl: false,
+    },
+];
+
+impl FabricSpec {
+    /// Formats the active-development span as in the paper ("2016-2021",
+    /// "2019-now").
+    pub fn active_span(&self) -> String {
+        match self.active_to {
+            Some(end) => format!("{}-{}", self.active_from, end),
+            None => format!("{}-now", self.active_from),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_four_rows() {
+        assert_eq!(COMMODITY_FABRICS.len(), 4);
+    }
+
+    #[test]
+    fn genz_and_opencapi_merged_into_cxl() {
+        let merged: Vec<&str> = COMMODITY_FABRICS
+            .iter()
+            .filter(|f| f.merged_into_cxl)
+            .map(|f| f.interconnect)
+            .collect();
+        assert_eq!(merged, vec!["Gen-Z", "CAPI/OpenCAPI"]);
+    }
+
+    #[test]
+    fn cxl_is_ongoing() {
+        let cxl = COMMODITY_FABRICS
+            .iter()
+            .find(|f| f.interconnect == "CXL")
+            .expect("CXL row");
+        assert_eq!(cxl.active_span(), "2019-now");
+        assert!(cxl.specifications.contains(&"CXL 3.0"));
+    }
+
+    #[test]
+    fn spans_format_like_the_paper() {
+        let genz = &COMMODITY_FABRICS[0];
+        assert_eq!(genz.active_span(), "2016-2021");
+    }
+}

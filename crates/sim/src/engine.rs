@@ -1,0 +1,610 @@
+//! The discrete-event engine: components, messages, and the event loop.
+//!
+//! Design notes:
+//!
+//! * Events are totally ordered by `(time, sequence)`; the sequence number is
+//!   assigned at scheduling time, which makes simultaneous events fire in
+//!   scheduling order and keeps runs deterministic.
+//! * Components are owned by the engine in a slab. During dispatch the
+//!   target component is temporarily moved out, so a component may freely
+//!   schedule messages (including to itself) through [`Ctx`] without
+//!   aliasing the component storage.
+//! * Message payloads are `Box<dyn Any>`: each subsystem defines its own
+//!   payload types and downcasts on receipt (see [`Msg::downcast`]).
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::SimTime;
+
+/// Identifies a component registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// Returns the raw slab index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A delivered message: the sender, plus an opaque payload.
+pub struct Msg {
+    /// The component that scheduled this message, if any (`None` for
+    /// messages posted by the harness through [`Engine::post`]).
+    pub src: Option<ComponentId>,
+    payload: Box<dyn Any>,
+    type_name: &'static str,
+}
+
+impl Msg {
+    /// Attempts to downcast the payload to `T`, returning the original
+    /// message on failure so dispatch chains can keep matching.
+    pub fn downcast<T: 'static>(self) -> Result<T, Msg> {
+        match self.payload.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(payload) => Err(Msg {
+                src: self.src,
+                payload,
+                type_name: self.type_name,
+            }),
+        }
+    }
+
+    /// Returns a reference to the payload if it is a `T`.
+    pub fn peek<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
+    /// Returns the payload's concrete type name, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+}
+
+impl std::fmt::Debug for Msg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Msg")
+            .field("src", &self.src)
+            .field("payload", &self.type_name())
+            .finish()
+    }
+}
+
+/// A simulated hardware or software entity driven by timestamped messages.
+///
+/// The `Any` supertrait allows [`Engine::component`] to hand back concrete
+/// types via trait upcasting.
+pub trait Component: Any {
+    /// Handles one message delivered at the current simulation time.
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg);
+}
+
+enum EventKind {
+    Message { target: ComponentId, msg: Msg },
+    Call(Box<dyn FnOnce(&mut Engine)>),
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Engine state shared with components during dispatch.
+struct EngineCore {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    rng: StdRng,
+    events_dispatched: u64,
+}
+
+impl EngineCore {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+}
+
+/// One recorded dispatch, kept by the engine's trace ring.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Dispatch time.
+    pub at: SimTime,
+    /// Target component name (`<call>` for harness closures).
+    pub target: String,
+    /// Payload type name (`<closure>` for harness closures).
+    pub payload: &'static str,
+}
+
+/// The single-threaded discrete-event simulation engine.
+pub struct Engine {
+    core: EngineCore,
+    components: Vec<Option<Box<dyn Component>>>,
+    names: Vec<String>,
+    trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
+}
+
+impl Engine {
+    /// Creates an engine with a deterministic RNG seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            core: EngineCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                events_dispatched: 0,
+            },
+            components: Vec::new(),
+            names: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Enables the dispatch trace ring, keeping the last `capacity`
+    /// events. Costs one allocation per dispatch; leave off in
+    /// experiments, turn on to debug a stuck or misbehaving model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        assert!(capacity > 0, "empty trace ring");
+        self.trace = Some((
+            capacity,
+            std::collections::VecDeque::with_capacity(capacity),
+        ));
+    }
+
+    /// The recorded trace, oldest first (empty unless enabled).
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.trace
+            .as_ref()
+            .map(|(_, ring)| ring.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn record_trace(&mut self, at: SimTime, target_idx: Option<usize>, payload: &'static str) {
+        if let Some((cap, ring)) = self.trace.as_mut() {
+            if ring.len() == *cap {
+                ring.pop_front();
+            }
+            let target = match target_idx {
+                Some(i) => self.names[i].clone(),
+                None => "<call>".to_string(),
+            };
+            ring.push_back(TraceEntry {
+                at,
+                target,
+                payload,
+            });
+        }
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add_component<C: Component>(
+        &mut self,
+        name: impl Into<String>,
+        component: C,
+    ) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(Some(Box::new(component)));
+        self.names.push(name.into());
+        id
+    }
+
+    /// Returns the registered name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this engine.
+    pub fn name(&self, id: ComponentId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Returns the current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Returns the number of events dispatched so far.
+    #[inline]
+    pub fn events_dispatched(&self) -> u64 {
+        self.core.events_dispatched
+    }
+
+    /// Returns the number of events still pending.
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Immutable access to a component, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is foreign, the component is mid-dispatch, or the
+    /// concrete type is not `C`.
+    pub fn component<C: Component>(&self, id: ComponentId) -> &C {
+        let b = self.components[id.index()]
+            .as_ref()
+            .expect("component is mid-dispatch");
+        (b.as_ref() as &dyn Any)
+            .downcast_ref::<C>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "component {} is not a {}",
+                    self.names[id.index()],
+                    std::any::type_name::<C>()
+                )
+            })
+    }
+
+    /// Mutable access to a component, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Engine::component`].
+    pub fn component_mut<C: Component>(&mut self, id: ComponentId) -> &mut C {
+        let name: &str = &self.names[id.index()];
+        let b = self.components[id.index()]
+            .as_mut()
+            .expect("component is mid-dispatch");
+        (b.as_mut() as &mut dyn Any)
+            .downcast_mut::<C>()
+            .unwrap_or_else(|| panic!("component {name} is not a {}", std::any::type_name::<C>()))
+    }
+
+    /// Schedules a message from the harness (no source component).
+    pub fn post<T: 'static>(&mut self, target: ComponentId, at: SimTime, payload: T) {
+        assert!(
+            target.index() < self.components.len(),
+            "unknown component id"
+        );
+        let at = at.max(self.core.now);
+        self.core.push(
+            at,
+            EventKind::Message {
+                target,
+                msg: Msg {
+                    src: None,
+                    payload: Box::new(payload),
+                    type_name: std::any::type_name::<T>(),
+                },
+            },
+        );
+    }
+
+    /// Schedules a closure to run against the full engine at time `at`.
+    ///
+    /// Useful for harness-side load injection and probing: unlike a
+    /// component, the closure may inspect and mutate any component.
+    pub fn call_at(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
+        let at = at.max(self.core.now);
+        self.core.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Direct access to the deterministic RNG (harness use).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        self.core.now = event.time;
+        self.core.events_dispatched += 1;
+        match event.kind {
+            EventKind::Message { target, msg } => {
+                if self.trace.is_some() {
+                    self.record_trace(event.time, Some(target.index()), msg.type_name());
+                }
+                let mut component = self.components[target.index()]
+                    .take()
+                    .expect("component received a message while mid-dispatch");
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    self_id: target,
+                };
+                component.on_msg(&mut ctx, msg);
+                self.components[target.index()] = Some(component);
+            }
+            EventKind::Call(f) => {
+                if self.trace.is_some() {
+                    self.record_trace(event.time, None, "<closure>");
+                }
+                f(self)
+            }
+        }
+    }
+
+    /// Runs one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.core.queue.pop() {
+            Some(ev) => {
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains and returns the final time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.core.now
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline`.
+    ///
+    /// Events scheduled after `deadline` remain queued; the clock is left at
+    /// the later of its current value and `deadline` only if an event
+    /// actually reached it (the clock never runs ahead of dispatched work).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            match self.core.queue.peek() {
+                Some(ev) if ev.time <= deadline => {
+                    let ev = self.core.queue.pop().expect("peeked event vanished");
+                    self.dispatch(ev);
+                }
+                _ => break,
+            }
+        }
+        self.core.now
+    }
+
+    /// Runs for an additional `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimTime) -> SimTime {
+        let deadline = self.core.now + duration;
+        self.run_until(deadline)
+    }
+}
+
+/// Per-dispatch context handed to [`Component::on_msg`].
+pub struct Ctx<'a> {
+    core: &'a mut EngineCore,
+    self_id: ComponentId,
+}
+
+impl Ctx<'_> {
+    /// Returns the current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Returns the id of the component being dispatched.
+    #[inline]
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedules `payload` for `target` after `delay`.
+    pub fn send<T: 'static>(&mut self, target: ComponentId, delay: SimTime, payload: T) {
+        let at = self.core.now + delay;
+        self.core.push(
+            at,
+            EventKind::Message {
+                target,
+                msg: Msg {
+                    src: Some(self.self_id),
+                    payload: Box::new(payload),
+                    type_name: std::any::type_name::<T>(),
+                },
+            },
+        );
+    }
+
+    /// Schedules `payload` back to the current component after `delay`.
+    pub fn send_self<T: 'static>(&mut self, delay: SimTime, payload: T) {
+        self.send(self.self_id, delay, payload);
+    }
+
+    /// The deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::Rng;
+
+    use super::*;
+
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+    }
+
+    impl Component for Recorder {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let v = msg.downcast::<u32>().expect("u32 payload");
+            self.log.push((ctx.now(), v));
+        }
+    }
+
+    struct PingPong {
+        peer: Option<ComponentId>,
+        remaining: u32,
+        bounces: u32,
+    }
+
+    struct Ball;
+
+    impl Component for PingPong {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let _ = msg.downcast::<Ball>().expect("ball");
+            self.bounces += 1;
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let peer = self.peer.expect("peer wired");
+                ctx.send(peer, SimTime::from_ns(10.0), Ball);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties() {
+        let mut engine = Engine::new(0);
+        let rec = engine.add_component("rec", Recorder { log: vec![] });
+        engine.post(rec, SimTime::from_ns(20.0), 2u32);
+        engine.post(rec, SimTime::from_ns(10.0), 1u32);
+        engine.post(rec, SimTime::from_ns(20.0), 3u32);
+        engine.post(rec, SimTime::from_ns(20.0), 4u32);
+        engine.run_until_idle();
+        let log = &engine.component::<Recorder>(rec).log;
+        let values: Vec<u32> = log.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![1, 2, 3, 4]);
+        assert_eq!(log[0].0, SimTime::from_ns(10.0));
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut engine = Engine::new(0);
+        let a = engine.add_component(
+            "a",
+            PingPong {
+                peer: None,
+                remaining: 5,
+                bounces: 0,
+            },
+        );
+        let b = engine.add_component(
+            "b",
+            PingPong {
+                peer: None,
+                remaining: 5,
+                bounces: 0,
+            },
+        );
+        engine.component_mut::<PingPong>(a).peer = Some(b);
+        engine.component_mut::<PingPong>(b).peer = Some(a);
+        engine.post(a, SimTime::ZERO, Ball);
+        engine.run_until_idle();
+        let ba = engine.component::<PingPong>(a).bounces;
+        let bb = engine.component::<PingPong>(b).bounces;
+        // a: initial + returns; total bounces = 1 + 5 + 5 = 11 dispatches.
+        assert_eq!(ba + bb, 11);
+        assert_eq!(engine.now(), SimTime::from_ns(100.0));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut engine = Engine::new(0);
+        let rec = engine.add_component("rec", Recorder { log: vec![] });
+        for i in 0..10 {
+            engine.post(rec, SimTime::from_ns(i as f64 * 10.0), i as u32);
+        }
+        engine.run_until(SimTime::from_ns(45.0));
+        assert_eq!(engine.component::<Recorder>(rec).log.len(), 5);
+        assert_eq!(engine.pending_events(), 5);
+        engine.run_until_idle();
+        assert_eq!(engine.component::<Recorder>(rec).log.len(), 10);
+    }
+
+    #[test]
+    fn call_at_sees_components() {
+        let mut engine = Engine::new(0);
+        let rec = engine.add_component("rec", Recorder { log: vec![] });
+        engine.post(rec, SimTime::from_ns(1.0), 7u32);
+        engine.call_at(SimTime::from_ns(2.0), move |e| {
+            let seen = e.component::<Recorder>(rec).log.len();
+            assert_eq!(seen, 1);
+            e.post(rec, e.now(), 8u32);
+        });
+        engine.run_until_idle();
+        assert_eq!(engine.component::<Recorder>(rec).log.len(), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut engine = Engine::new(seed);
+            let mut out = Vec::new();
+            for _ in 0..100 {
+                out.push(engine.rng().gen());
+            }
+            out
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn msg_downcast_fallthrough_preserves_payload() {
+        let msg = Msg {
+            src: None,
+            payload: Box::new(5u32),
+            type_name: std::any::type_name::<u32>(),
+        };
+        let msg = msg.downcast::<String>().expect_err("not a string");
+        assert_eq!(msg.peek::<u32>(), Some(&5));
+        assert_eq!(msg.downcast::<u32>().expect("u32"), 5);
+    }
+
+    #[test]
+    fn post_in_the_past_is_clamped_to_now() {
+        let mut engine = Engine::new(0);
+        let rec = engine.add_component("rec", Recorder { log: vec![] });
+        engine.post(rec, SimTime::from_ns(100.0), 1u32);
+        engine.run_until_idle();
+        // Posting at t=0 after the clock reached 100ns must not go backwards.
+        engine.post(rec, SimTime::ZERO, 2u32);
+        engine.run_until_idle();
+        let log = &engine.component::<Recorder>(rec).log;
+        assert_eq!(log[1].0, SimTime::from_ns(100.0));
+    }
+
+    #[test]
+    fn trace_ring_keeps_the_tail() {
+        let mut engine = Engine::new(0);
+        let rec = engine.add_component("rec", Recorder { log: vec![] });
+        engine.enable_trace(3);
+        for i in 0..10u32 {
+            engine.post(rec, SimTime::from_ns(i as f64), i);
+        }
+        engine.run_until_idle();
+        let trace = engine.trace();
+        assert_eq!(trace.len(), 3, "ring keeps only the last 3");
+        assert_eq!(trace[2].at, SimTime::from_ns(9.0));
+        assert_eq!(trace[0].target, "rec");
+        assert!(trace[0].payload.contains("u32"));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn wrong_component_type_panics() {
+        let mut engine = Engine::new(0);
+        let rec = engine.add_component("rec", Recorder { log: vec![] });
+        let _ = engine.component::<PingPong>(rec);
+    }
+}

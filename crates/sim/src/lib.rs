@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Deterministic discrete-event simulation core for the FCC reproduction.
+//!
+//! Every hardware model in this workspace (links, switches, memory nodes,
+//! cache hierarchies) is a [`Component`] driven by a single-threaded
+//! [`Engine`]. Components communicate exclusively by scheduling timestamped
+//! messages; the engine pops events in `(time, sequence)` order, so two runs
+//! with the same seed produce byte-identical traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use fcc_sim::{Component, Ctx, Engine, Msg, SimTime};
+//!
+//! struct Echo {
+//!     heard: u64,
+//! }
+//!
+//! impl Component for Echo {
+//!     fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {
+//!         self.heard += 1;
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(7);
+//! let echo = engine.add_component("echo", Echo { heard: 0 });
+//! engine.post(echo, SimTime::from_ns(5.0), 42u32);
+//! engine.run_until_idle();
+//! assert_eq!(engine.component::<Echo>(echo).heard, 1);
+//! assert_eq!(engine.now(), SimTime::from_ns(5.0));
+//! ```
+
+pub mod engine;
+pub mod queueing;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Component, ComponentId, Ctx, Engine, Msg, TraceEntry};
+pub use queueing::TokenBucket;
+pub use stats::{jain_fairness, Counter, Gauge, Histogram, Summary, SummaryNs};
+pub use time::serialization_time;
+pub use time::SimTime;

@@ -1,0 +1,158 @@
+//! Queueing helpers shared by the fabric models: a byte-granular token
+//! bucket used for bandwidth throttling and arbiter reservations.
+
+use crate::time::SimTime;
+
+/// A token bucket metering bytes at a configured rate.
+///
+/// Tokens accrue continuously at `rate_gbps`; a transfer of `n` bytes may
+/// proceed when `n` tokens are available, otherwise [`TokenBucket::earliest`]
+/// reports when it could proceed. The bucket capacity bounds burst size.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bytes_per_ns: f64,
+    capacity_bytes: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with the given sustained rate and burst capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_gbps` or `capacity_bytes` is not strictly positive.
+    pub fn new(rate_gbps: f64, capacity_bytes: u64) -> Self {
+        assert!(rate_gbps > 0.0, "rate must be positive");
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        TokenBucket {
+            rate_bytes_per_ns: rate_gbps / 8.0,
+            capacity_bytes: capacity_bytes as f64,
+            tokens: capacity_bytes as f64,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the configured sustained rate in Gbit/s.
+    pub fn rate_gbps(&self) -> f64 {
+        self.rate_bytes_per_ns * 8.0
+    }
+
+    /// Replaces the sustained rate (used by the arbiter to re-provision a
+    /// flow), keeping accumulated tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_gbps` is not strictly positive.
+    pub fn set_rate(&mut self, now: SimTime, rate_gbps: f64) {
+        assert!(rate_gbps > 0.0, "rate must be positive");
+        self.refill(now);
+        self.rate_bytes_per_ns = rate_gbps / 8.0;
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = (now - self.last_refill).as_ns();
+        self.tokens = (self.tokens + dt * self.rate_bytes_per_ns).min(self.capacity_bytes);
+        self.last_refill = now;
+    }
+
+    /// Attempts to consume `bytes` tokens at `now`; returns whether the
+    /// transfer may proceed immediately.
+    pub fn try_consume(&mut self, now: SimTime, bytes: u64) -> bool {
+        self.refill(now);
+        let need = bytes as f64;
+        if self.tokens >= need {
+            self.tokens -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the earliest time at which `bytes` tokens will be available,
+    /// without consuming them.
+    pub fn earliest(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.refill(now);
+        let need = bytes as f64;
+        if self.tokens >= need {
+            now
+        } else {
+            let deficit = need - self.tokens;
+            now + SimTime::from_ns(deficit / self.rate_bytes_per_ns)
+        }
+    }
+
+    /// Consumes `bytes` tokens unconditionally, allowing the balance to go
+    /// negative conceptually by clamping at zero plus recording debt via
+    /// the earliest-time computation. Prefer [`TokenBucket::try_consume`].
+    pub fn force_consume(&mut self, now: SimTime, bytes: u64) {
+        self.refill(now);
+        self.tokens -= bytes as f64;
+    }
+
+    /// Current token balance in bytes (may be negative after
+    /// [`TokenBucket::force_consume`]).
+    pub fn balance(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bucket_allows_burst() {
+        let mut tb = TokenBucket::new(8.0, 1024); // 1 byte/ns.
+        assert!(tb.try_consume(SimTime::ZERO, 1024));
+        assert!(!tb.try_consume(SimTime::ZERO, 1));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut tb = TokenBucket::new(8.0, 1000); // 1 byte/ns.
+        assert!(tb.try_consume(SimTime::ZERO, 1000));
+        // After 500 ns, 500 bytes are available.
+        assert!(tb.try_consume(SimTime::from_ns(500.0), 500));
+        assert!(!tb.try_consume(SimTime::from_ns(500.0), 1));
+    }
+
+    #[test]
+    fn earliest_predicts_availability() {
+        let mut tb = TokenBucket::new(8.0, 1000);
+        assert!(tb.try_consume(SimTime::ZERO, 1000));
+        let t = tb.earliest(SimTime::ZERO, 250);
+        assert_eq!(t, SimTime::from_ns(250.0));
+        // And it is actually available then.
+        assert!(tb.try_consume(t, 250));
+    }
+
+    #[test]
+    fn capacity_caps_accumulation() {
+        let mut tb = TokenBucket::new(8.0, 100);
+        // Long idle: still only 100 bytes of burst.
+        assert!(tb.try_consume(SimTime::from_secs(1.0), 100));
+        assert!(!tb.try_consume(SimTime::from_secs(1.0), 1));
+    }
+
+    #[test]
+    fn set_rate_reprovisions() {
+        let mut tb = TokenBucket::new(8.0, 1000);
+        assert!(tb.try_consume(SimTime::ZERO, 1000));
+        tb.set_rate(SimTime::ZERO, 16.0); // 2 bytes/ns.
+        let t = tb.earliest(SimTime::ZERO, 1000);
+        assert_eq!(t, SimTime::from_ns(500.0));
+    }
+
+    #[test]
+    fn force_consume_goes_negative() {
+        let mut tb = TokenBucket::new(8.0, 100);
+        tb.force_consume(SimTime::ZERO, 300);
+        assert!(tb.balance() < 0.0);
+        let t = tb.earliest(SimTime::ZERO, 0);
+        // Zero-byte request still waits for debt? No: zero bytes needs no
+        // tokens beyond non-negative balance; earliest() reports when the
+        // deficit clears.
+        assert!(t > SimTime::ZERO);
+    }
+}

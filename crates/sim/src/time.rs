@@ -1,0 +1,336 @@
+//! Simulated time: a 64-bit picosecond clock.
+//!
+//! Picosecond resolution lets the protocol layers express sub-nanosecond
+//! serialization delays (a 68-byte flit at 64 GT/s ×16 serializes in well
+//! under a nanosecond) without accumulating rounding error, while still
+//! covering ~213 days of simulated time in a `u64`.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time (or a duration), in picoseconds.
+///
+/// `SimTime` is used for both instants and durations; the arithmetic
+/// operators saturate rather than wrap so that pathological parameter
+/// choices fail loudly in debug builds and degrade gracefully in release.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable instant (used as an "infinite" horizon).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds (fractional values are rounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "invalid nanosecond value: {ns}"
+        );
+        SimTime((ns * 1e3).round() as u64)
+    }
+
+    /// Creates a time from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        Self::from_ns(us * 1e3)
+    }
+
+    /// Creates a time from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_ns(ms * 1e6)
+    }
+
+    /// Creates a time from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_ns(s * 1e9)
+    }
+
+    /// Returns the raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the time in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the time in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[inline]
+    pub const fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplies a duration by an integer count (saturating).
+    #[inline]
+    pub const fn times(self, n: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(n))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        self.times(rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+
+    /// Divides a duration by an integer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == u64::MAX {
+            write!(f, "t=inf")
+        } else if ps >= 1_000_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs())
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{:.3}ns", self.as_ns())
+        }
+    }
+}
+
+/// Computes the wire serialization time of `bytes` at `gbps` gigabits/s.
+///
+/// # Panics
+///
+/// Panics if `gbps` is not strictly positive.
+pub fn serialization_time(bytes: u64, gbps: f64) -> SimTime {
+    assert!(gbps > 0.0, "link rate must be positive");
+    // bits / (Gbit/s) = nanoseconds; keep in f64 then round to ps.
+    SimTime::from_ns(bytes as f64 * 8.0 / gbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ns(1575.3);
+        assert!((t.as_ns() - 1575.3).abs() < 1e-9);
+        assert_eq!(SimTime::from_us(1.0), SimTime::from_ns(1000.0));
+        assert_eq!(SimTime::from_ms(1.0), SimTime::from_us(1000.0));
+        assert_eq!(SimTime::from_secs(1.0), SimTime::from_ms(1000.0));
+        assert_eq!(SimTime::from_ps(1500), SimTime::from_ns(1.5));
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(SimTime::MAX + SimTime::from_ns(1.0), SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimTime::from_ns(1.0), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_ns(2.0).checked_sub(SimTime::from_ns(3.0)),
+            None
+        );
+        assert_eq!(
+            SimTime::from_ns(3.0).checked_sub(SimTime::from_ns(2.0)),
+            Some(SimTime::from_ns(1.0))
+        );
+    }
+
+    #[test]
+    fn mul_div_sum() {
+        let t = SimTime::from_ns(10.0);
+        assert_eq!(t * 3, SimTime::from_ns(30.0));
+        assert_eq!(t / 4, SimTime::from_ps(2500));
+        let total: SimTime = (0..5).map(|_| t).sum();
+        assert_eq!(total, SimTime::from_ns(50.0));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ns(5.4)), "5.400ns");
+        assert_eq!(format!("{}", SimTime::from_us(3.0)), "3.000us");
+        assert_eq!(format!("{}", SimTime::from_secs(2.0)), "2.000000s");
+        assert_eq!(format!("{}", SimTime::MAX), "t=inf");
+    }
+
+    #[test]
+    fn serialization_time_matches_hand_math() {
+        // 64 bytes at 512 Gbit/s = 1 ns.
+        assert_eq!(serialization_time(64, 512.0), SimTime::from_ns(1.0));
+        // 68-byte flit on a x16 CXL link at 64 GT/s ~ 1024 Gbit/s raw.
+        let t = serialization_time(68, 1024.0);
+        assert!((t.as_ns() - 0.531).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid nanosecond")]
+    fn negative_ns_rejected() {
+        let _ = SimTime::from_ns(-1.0);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = SimTime::from_ns(1.0);
+        let b = SimTime::from_ns(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    proptest! {
+        #[test]
+        fn add_is_monotonic(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+            let ta = SimTime::from_ps(a);
+            let tb = SimTime::from_ps(b);
+            prop_assert!(ta + tb >= ta);
+            prop_assert!(ta + tb >= tb);
+        }
+
+        #[test]
+        fn sub_then_add_round_trips(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            let d = SimTime::from_ps(hi) - SimTime::from_ps(lo);
+            prop_assert_eq!(SimTime::from_ps(lo) + d, SimTime::from_ps(hi));
+        }
+
+        #[test]
+        fn ns_round_trip_within_half_ps(ns in 0.0f64..1e9) {
+            let t = SimTime::from_ns(ns);
+            prop_assert!((t.as_ns() - ns).abs() <= 0.0005 + ns * 1e-12);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Open-loop arrival processes.
+
+use rand::Rng;
+
+use fcc_sim::SimTime;
+
+/// Poisson arrivals: exponential inter-arrival times at a given rate.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    mean_gap_ns: f64,
+    next_at: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate_per_us` average arrivals per
+    /// microsecond, starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn new(rate_per_us: f64, start: SimTime) -> Self {
+        assert!(rate_per_us > 0.0, "rate must be positive");
+        PoissonArrivals {
+            mean_gap_ns: 1000.0 / rate_per_us,
+            next_at: start,
+        }
+    }
+
+    /// Returns the next arrival instant.
+    pub fn next(&mut self, rng: &mut impl Rng) -> SimTime {
+        let at = self.next_at;
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = -u.ln() * self.mean_gap_ns;
+        self.next_at = at + SimTime::from_ns(gap);
+        at
+    }
+}
+
+/// Fixed-period arrivals.
+#[derive(Debug, Clone)]
+pub struct PeriodicArrivals {
+    period: SimTime,
+    next_at: SimTime,
+}
+
+#[allow(clippy::should_implement_trait)] // a seeded generator, not an Iterator.
+impl PeriodicArrivals {
+    /// Creates a process firing every `period` from `start`.
+    pub fn new(period: SimTime, start: SimTime) -> Self {
+        PeriodicArrivals {
+            period,
+            next_at: start,
+        }
+    }
+
+    /// Returns the next arrival instant.
+    pub fn next(&mut self) -> SimTime {
+        let at = self.next_at;
+        self.next_at = at + self.period;
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_converges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = PoissonArrivals::new(2.0, SimTime::ZERO); // 500ns mean gap.
+        let mut last = p.next(&mut rng);
+        let mut total = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let t = p.next(&mut rng);
+            total += (t - last).as_ns();
+            last = t;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 500.0).abs() < 25.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn poisson_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut p = PoissonArrivals::new(10.0, SimTime::from_us(1.0));
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            let t = p.next(&mut rng);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn periodic_fires_exactly() {
+        let mut p = PeriodicArrivals::new(SimTime::from_ns(100.0), SimTime::from_ns(50.0));
+        assert_eq!(p.next(), SimTime::from_ns(50.0));
+        assert_eq!(p.next(), SimTime::from_ns(150.0));
+        assert_eq!(p.next(), SimTime::from_ns(250.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Power-domain failure schedules.
+//!
+//! §3 D#5: "hosts and remote devices usually stay in different power
+//! domains and can fail separately". A [`FailureSchedule`] draws crash
+//! instants per domain from exponential inter-failure times, with a fixed
+//! recovery delay — the input to the idempotent-task experiments (E6).
+
+use rand::Rng;
+
+use fcc_sim::SimTime;
+
+/// One injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// Crash instant.
+    pub at: SimTime,
+    /// Failing power domain (index into the experiment's domain list).
+    pub domain: usize,
+    /// When the domain is back.
+    pub recovered_at: SimTime,
+}
+
+/// A pre-drawn schedule of failures over a horizon.
+#[derive(Debug, Clone)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// Draws a schedule: each of `domains` fails independently with mean
+    /// time between failures `mtbf`, each outage lasting `downtime`,
+    /// within `[0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtbf` is zero.
+    pub fn draw(
+        domains: usize,
+        mtbf: SimTime,
+        downtime: SimTime,
+        horizon: SimTime,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(mtbf > SimTime::ZERO, "mtbf must be positive");
+        let mut events = Vec::new();
+        for d in 0..domains {
+            let mut t = SimTime::ZERO;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let gap = -u.ln() * mtbf.as_ns();
+                t += SimTime::from_ns(gap);
+                if t > horizon {
+                    break;
+                }
+                events.push(FailureEvent {
+                    at: t,
+                    domain: d,
+                    recovered_at: t + downtime,
+                });
+                t += downtime;
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        FailureSchedule { events }
+    }
+
+    /// An explicit schedule (deterministic tests).
+    pub fn explicit(mut events: Vec<FailureEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FailureSchedule { events }
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Whether `domain` is down at `t`.
+    pub fn is_down(&self, domain: usize, t: SimTime) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.domain == domain && e.at <= t && t < e.recovered_at)
+    }
+
+    /// Number of failures injected for `domain`.
+    pub fn count_for(&self, domain: usize) -> usize {
+        self.events.iter().filter(|e| e.domain == domain).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn draw_respects_horizon_and_orders_events() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = FailureSchedule::draw(
+            4,
+            SimTime::from_us(50.0),
+            SimTime::from_us(10.0),
+            SimTime::from_ms(1.0),
+            &mut rng,
+        );
+        assert!(!s.events().is_empty());
+        let mut last = SimTime::ZERO;
+        for e in s.events() {
+            assert!(e.at <= SimTime::from_ms(1.0));
+            assert!(e.at >= last);
+            assert_eq!(e.recovered_at, e.at + SimTime::from_us(10.0));
+            last = e.at;
+        }
+    }
+
+    #[test]
+    fn is_down_tracks_outages() {
+        let s = FailureSchedule::explicit(vec![FailureEvent {
+            at: SimTime::from_us(10.0),
+            domain: 1,
+            recovered_at: SimTime::from_us(20.0),
+        }]);
+        assert!(!s.is_down(1, SimTime::from_us(5.0)));
+        assert!(s.is_down(1, SimTime::from_us(15.0)));
+        assert!(!s.is_down(1, SimTime::from_us(20.0)), "boundary is up");
+        assert!(!s.is_down(0, SimTime::from_us(15.0)), "other domain up");
+    }
+
+    #[test]
+    fn mtbf_scales_failure_count() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let frequent = FailureSchedule::draw(
+            1,
+            SimTime::from_us(10.0),
+            SimTime::from_us(1.0),
+            SimTime::from_ms(1.0),
+            &mut rng,
+        );
+        let rare = FailureSchedule::draw(
+            1,
+            SimTime::from_us(200.0),
+            SimTime::from_us(1.0),
+            SimTime::from_ms(1.0),
+            &mut rng,
+        );
+        assert!(frequent.count_for(0) > rare.count_for(0) * 4);
+    }
+}

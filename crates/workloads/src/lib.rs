@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! Workload and fault-injection generators for the FCC experiments.
+//!
+//! * [`access`] — address-stream generators: uniform, sequential, Zipf
+//!   (skewed object popularity), and random-cycle pointer chases.
+//! * [`arrival`] — open-loop arrival processes (Poisson and periodic).
+//! * [`failure`] — power-domain failure schedules for the passive failure
+//!   domain experiments (§3 D#5, E6).
+
+pub mod access;
+pub mod arrival;
+pub mod failure;
+
+pub use access::{PointerChase, SequentialStream, UniformStream, ZipfStream};
+pub use arrival::{PeriodicArrivals, PoissonArrivals};
+pub use failure::{FailureEvent, FailureSchedule};

@@ -1,0 +1,78 @@
+//! Far-memory heap: the unified heap manager of design principle #2.
+//!
+//! ```text
+//! cargo run --release --example far_memory_heap
+//! ```
+//!
+//! Allocates a skewed object population across host-local memory and
+//! three fabric-attached node types, then lets the temperature profiler
+//! and migration runtime pull the hot set to the fast tiers while cold
+//! objects sink to the expanders.
+
+use fcc::memnode::profile::{MemNodeKind, MemNodeProfile};
+use fcc::unifabric::heap::{FabricBox, HeapNodeCfg, PlacementHint, UnifiedHeap};
+use fcc::workloads::access::ZipfStream;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    // Four memory nodes: local DRAM (small), a CXL expander, a CC-NUMA
+    // node and a COMA node.
+    let mut heap = UnifiedHeap::new(vec![
+        HeapNodeCfg {
+            profile: MemNodeProfile::omega_like(MemNodeKind::HostLocal, 256 * 1024),
+        },
+        HeapNodeCfg {
+            profile: MemNodeProfile::omega_like(MemNodeKind::CpulessNuma, 1 << 30),
+        },
+        HeapNodeCfg {
+            profile: MemNodeProfile::omega_like(MemNodeKind::CcNuma, 1 << 30),
+        },
+        HeapNodeCfg {
+            profile: MemNodeProfile::omega_like(MemNodeKind::Coma, 1 << 28),
+        },
+    ]);
+    let objects: Vec<FabricBox> = (0..512)
+        .map(|_| heap.alloc(4096, PlacementHint::Auto).expect("capacity"))
+        .collect();
+    println!(
+        "allocated {} x 4 KiB objects across {} nodes (local tier fits {})",
+        objects.len(),
+        heap.node_count(),
+        256 * 1024 / 4096
+    );
+    let mut zipf = ZipfStream::new(objects.len() as u64, 1.1);
+    let mut epoch_cost = fcc::sim::SimTime::ZERO;
+    let mut epoch_ops = 0u64;
+    for epoch in 0..5 {
+        for _ in 0..20_000 {
+            let obj = objects[zipf.next(&mut rng) as usize];
+            let write = rng.gen_bool(0.3);
+            epoch_cost += heap.access(obj, 0, write).expect("live");
+            epoch_ops += 1;
+        }
+        let mean = epoch_cost.as_ns() / epoch_ops as f64;
+        let plan = heap.rebalance();
+        println!(
+            "epoch {epoch}: mean access {:>6.0} ns | rebalance moved {} objects ({} KiB)",
+            mean,
+            plan.moves.len(),
+            plan.bytes >> 10
+        );
+        epoch_cost = fcc::sim::SimTime::ZERO;
+        epoch_ops = 0;
+        for idx in 0..heap.node_count() {
+            println!(
+                "    node {idx} ({:?}): {:>6} KiB in use",
+                heap.node_profile(idx).kind,
+                heap.node_used(idx) >> 10
+            );
+        }
+    }
+    println!(
+        "lifetime: {} migrations, {} KiB moved",
+        heap.migrations,
+        heap.bytes_migrated >> 10
+    );
+}

@@ -1,0 +1,35 @@
+//! Fabric-Centric Computing (FCC) — a reproduction of the HotOS '23 paper.
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation core.
+//! * [`proto`] — CXL Flex Bus protocol model (flits, channels, layers).
+//! * [`fabric`] — switches, adapters, routing, credit-based flow control,
+//!   the central arbiter, and the communication-fabric baseline.
+//! * [`memnode`] — fabric-attached memory node models (CPU-less NUMA,
+//!   CC-NUMA, non-CC NUMA, COMA).
+//! * [`cache`] — host memory hierarchy and pipeline stall accounting.
+//! * [`unifabric`] — the paper's contribution: the UniFabric runtime
+//!   (elastic transactions, unified heap, idempotent tasks, scalable
+//!   functions, arbiter client).
+//! * [`baseband`] — the MIMO baseband case study from §5 of the paper.
+//! * [`workloads`] — workload and fault-injection generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use fcc::sim::Engine;
+//!
+//! let engine = Engine::new(42);
+//! assert_eq!(engine.now().as_ns(), 0.0);
+//! ```
+
+pub use fcc_baseband as baseband;
+pub use fcc_cache as cache;
+pub use fcc_core as unifabric;
+pub use fcc_fabric as fabric;
+pub use fcc_memnode as memnode;
+pub use fcc_proto as proto;
+pub use fcc_sim as sim;
+pub use fcc_workloads as workloads;

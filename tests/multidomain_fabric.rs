@@ -1,0 +1,144 @@
+//! Multi-domain fabric: HBR (Hierarchy Based Routing) across domains.
+//!
+//! "A CXL fabric contains several domains connected via HBR links, where
+//! each one consists of one or more switches that are PBR capable" (§2.1).
+//! This test builds two PBR domains joined by an HBR link, installs
+//! domain routes instead of per-node entries at the gateway switches, and
+//! verifies cross-domain traffic flows while intra-domain tables stay
+//! small — the scalability point of hierarchical routing.
+
+use fcc::fabric::adapter::{Fea, Fha, HostCompletion, HostOp, HostRequest};
+use fcc::fabric::endpoint::PipelinedMemory;
+use fcc::fabric::routing::DomainId;
+use fcc::fabric::switch::{FabricSwitch, SwitchConfig};
+use fcc::proto::addr::{AddrMap, AddrRange, NodeId};
+use fcc::proto::link::CreditConfig;
+use fcc::proto::phys::PhysConfig;
+use fcc::sim::{Component, Ctx, Engine, Msg, SimTime};
+
+struct Sink {
+    done: Vec<HostCompletion>,
+}
+
+impl Component for Sink {
+    fn on_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+        self.done
+            .push(msg.downcast::<HostCompletion>().expect("hc"));
+    }
+}
+
+#[test]
+fn hbr_routes_cross_domain_traffic_with_small_tables() {
+    let mut engine = Engine::new(0xD0);
+    let phys = PhysConfig::omega_like();
+    let credit = CreditConfig::default();
+    let cfg = SwitchConfig::fabrex_like();
+    // Domain 0: host + switch s0. Domain 1: switch s1 + FAM.
+    let s0 = engine.add_component("s0", FabricSwitch::new(cfg));
+    let s1 = engine.add_component("s1", FabricSwitch::new(cfg));
+    {
+        // Declare domain membership of the switches' routing tables.
+        engine.component_mut::<FabricSwitch>(s0).routing =
+            fcc::fabric::routing::RoutingTable::new(DomainId(0));
+        engine.component_mut::<FabricSwitch>(s1).routing =
+            fcc::fabric::routing::RoutingTable::new(DomainId(1));
+    }
+    // Inter-domain (HBR) link between s0 and s1.
+    let hbr0 = {
+        let s = engine.component_mut::<FabricSwitch>(s0);
+        let p = s.add_port();
+        s.connect(p, s1);
+        p
+    };
+    let hbr1 = {
+        let s = engine.component_mut::<FabricSwitch>(s1);
+        let p = s.add_port();
+        s.connect(p, s0);
+        p
+    };
+    // Host in domain 0.
+    let host_node = NodeId(1);
+    let dev_node = NodeId(1000);
+    let mut map = AddrMap::new();
+    map.add_direct(AddrRange::new(0x1000_0000, 1 << 24), dev_node);
+    let fha = engine.add_component("fha", Fha::new(host_node, phys, credit, map, 8));
+    {
+        let s = engine.component_mut::<FabricSwitch>(s0);
+        let p = s.add_port();
+        s.connect(p, fha);
+        s.routing.add_pbr(host_node, p);
+    }
+    engine.component_mut::<Fha>(fha).connect(s0);
+    // FAM in domain 1.
+    let fea = engine.add_component(
+        "fea",
+        Fea::new(
+            dev_node,
+            phys,
+            credit,
+            Box::new(PipelinedMemory::new(
+                SimTime::from_ns(120.0),
+                SimTime::from_ns(130.0),
+                SimTime::from_ns(20.0),
+                1 << 24,
+            )),
+        ),
+    );
+    {
+        let s = engine.component_mut::<FabricSwitch>(s1);
+        let p = s.add_port();
+        s.connect(p, fea);
+        s.routing.add_pbr(dev_node, p);
+    }
+    engine.component_mut::<Fea>(fea).connect(s1);
+    // HBR entries only: s0 knows "domain 1 is that way" (not the device),
+    // s1 knows "domain 0 is that way" (not the host).
+    {
+        let s = engine.component_mut::<FabricSwitch>(s0);
+        s.routing.set_domain(dev_node, DomainId(1));
+        s.routing.add_hbr(DomainId(1), hbr0);
+    }
+    {
+        let s = engine.component_mut::<FabricSwitch>(s1);
+        s.routing.set_domain(host_node, DomainId(0));
+        s.routing.add_hbr(DomainId(0), hbr1);
+    }
+    let sink = engine.add_component("sink", Sink { done: vec![] });
+    for i in 0..20u64 {
+        engine.post(
+            fha,
+            SimTime::ZERO,
+            HostRequest {
+                op: if i % 2 == 0 {
+                    HostOp::Read {
+                        addr: 0x1000_0000 + i * 64,
+                        bytes: 64,
+                    }
+                } else {
+                    HostOp::Write {
+                        addr: 0x1000_0000 + i * 64,
+                        bytes: 64,
+                    }
+                },
+                tag: i,
+                reply_to: sink,
+            },
+        );
+    }
+    engine.run_until_idle();
+    let done = &engine.component::<Sink>(sink).done;
+    assert_eq!(done.len(), 20, "cross-domain traffic completes");
+    // The scalability point: each switch holds exactly ONE local PBR entry
+    // plus one HBR entry — no per-foreign-node state.
+    assert_eq!(
+        engine.component::<FabricSwitch>(s0).routing.pbr_entries(),
+        1
+    );
+    assert_eq!(
+        engine.component::<FabricSwitch>(s1).routing.pbr_entries(),
+        1
+    );
+    // Both switches forwarded in both directions.
+    assert!(engine.component::<FabricSwitch>(s0).forwarded.get() >= 40);
+    assert!(engine.component::<FabricSwitch>(s1).forwarded.get() >= 40);
+}
