@@ -67,7 +67,10 @@ impl ConvCode {
     ///
     /// Panics if the input length is odd or shorter than the tail.
     pub fn decode(&self, coded: &[u8]) -> Vec<u8> {
-        assert!(coded.len().is_multiple_of(2), "codeword must be even-length");
+        assert!(
+            coded.len().is_multiple_of(2),
+            "codeword must be even-length"
+        );
         let steps = coded.len() / 2;
         assert!(steps >= K - 1, "codeword shorter than the tail");
         const INF: u32 = u32::MAX / 2;

@@ -15,13 +15,10 @@ pub fn solve(a: &mut [Cplx], b: &mut [Cplx], n: usize) -> Option<Vec<Cplx>> {
     assert_eq!(b.len(), n, "rhs shape");
     for col in 0..n {
         // Partial pivot.
+        // `col < n`, so the candidate range is never empty.
+        #[allow(clippy::expect_used)]
         let pivot_row = (col..n)
-            .max_by(|&r1, &r2| {
-                a[r1 * n + col]
-                    .abs()
-                    .partial_cmp(&a[r2 * n + col].abs())
-                    .expect("finite")
-            })
+            .max_by(|&r1, &r2| a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs()))
             .expect("non-empty range");
         if a[pivot_row * n + col].abs() < 1e-12 {
             return None;

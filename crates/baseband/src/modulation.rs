@@ -84,15 +84,12 @@ impl Modulation {
         let levels = self.levels();
         let unscaled = symbol.scale(1.0 / self.norm());
         let nearest = |v: f64| -> usize {
+            // Every constellation has at least two amplitude levels.
+            #[allow(clippy::expect_used)]
             levels
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    (v - **a)
-                        .abs()
-                        .partial_cmp(&(v - **b).abs())
-                        .expect("finite")
-                })
+                .min_by(|(_, a), (_, b)| (v - **a).abs().total_cmp(&(v - **b).abs()))
                 .map(|(i, _)| i)
                 .expect("non-empty levels")
         };

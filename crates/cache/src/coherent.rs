@@ -9,19 +9,12 @@
 use std::collections::HashMap;
 
 use fcc_fabric::adapter::{HostCompletion, HostOp, HostRequest, SnoopMsg, SnoopReply};
-use fcc_proto::channel::{CacheOpcode, TransactionKind};
-use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, SimTime};
+use fcc_proto::channel::TransactionKind;
+use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, PendingWork, SimTime};
+
+use crate::protocol::{self, HostLineState as LineState};
 
 const LINE: u64 = 64;
-
-/// Local MESI-ish state of a cached line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LineState {
-    /// Read-only copy.
-    Shared,
-    /// Writable copy, possibly dirty.
-    Modified,
-}
 
 /// An access submitted to the coherent cache.
 #[derive(Debug, Clone, Copy)]
@@ -116,14 +109,13 @@ impl CoherentL1 {
     fn evict_if_full(&mut self, ctx: &mut Ctx<'_>) {
         while self.lines.len() >= self.capacity_lines {
             let victim = self.lru.remove(0);
+            // The LRU list mirrors `lines` exactly.
+            #[allow(clippy::expect_used)]
             let state = self.lines.remove(&victim).expect("lru tracks lines");
-            let (op, bytes) = match state {
-                LineState::Modified => {
-                    self.writebacks.inc();
-                    (CacheOpcode::DirtyEvict, 64)
-                }
-                LineState::Shared => (CacheOpcode::CleanEvict, 0),
-            };
+            if state == LineState::Modified {
+                self.writebacks.inc();
+            }
+            let (op, bytes) = protocol::evict_op(state);
             let tag = self.next_tag;
             self.next_tag += 1;
             // Evictions complete with Go; we drop the completion (tracked
@@ -157,11 +149,7 @@ impl CoherentL1 {
     fn on_access(&mut self, ctx: &mut Ctx<'_>, access: CoherentAccess) {
         let line = access.addr & !(LINE - 1);
         let state = self.lines.get(&line).copied();
-        let hit = matches!(
-            (state, access.write),
-            (Some(LineState::Modified), _) | (Some(LineState::Shared), false)
-        );
-        if hit {
+        if protocol::access_hits(state, access.write) {
             self.hits.inc();
             if access.write {
                 self.lines.insert(line, LineState::Modified);
@@ -181,11 +169,7 @@ impl CoherentL1 {
         self.misses.inc();
         // Miss or upgrade: fetch over the fabric.
         self.evict_if_full(ctx);
-        let op = if access.write {
-            CacheOpcode::RdOwn
-        } else {
-            CacheOpcode::RdShared
-        };
+        let op = protocol::miss_request(access.write);
         let tag = self.next_tag;
         self.next_tag += 1;
         self.outstanding.insert(
@@ -214,6 +198,9 @@ impl CoherentL1 {
     }
 
     fn on_completion(&mut self, ctx: &mut Ctx<'_>, hc: HostCompletion) {
+        // The FHA only ever echoes tags this cache issued, so an unknown tag
+        // is a wiring bug worth stopping on.
+        #[allow(clippy::expect_used)]
         let pending = self
             .outstanding
             .remove(&hc.tag)
@@ -223,12 +210,7 @@ impl CoherentL1 {
             return;
         }
         let line = pending.addr & !(LINE - 1);
-        let state = if pending.write {
-            LineState::Modified
-        } else {
-            LineState::Shared
-        };
-        self.lines.insert(line, state);
+        self.lines.insert(line, protocol::fill_state(pending.write));
         self.touch(line);
         let latency = ctx.now() - pending.issued_at;
         ctx.send(
@@ -249,34 +231,21 @@ impl CoherentL1 {
         };
         let line = txn.addr & !(LINE - 1);
         let state = self.lines.get(&line).copied();
-        let (rsp, bytes) = match op {
-            CacheOpcode::SnpInv => {
-                let was = self.lines.remove(&line);
-                self.lru.retain(|&l| l != line);
-                if was.is_some() {
-                    self.invalidations.inc();
-                }
-                match was {
-                    Some(LineState::Modified) => (CacheOpcode::RspIFwdM, 64),
-                    _ => (CacheOpcode::RspIHitI, 0),
-                }
-            }
-            CacheOpcode::SnpData => match state {
-                Some(LineState::Modified) => {
-                    self.downgrades.inc();
-                    self.lines.insert(line, LineState::Shared);
-                    (CacheOpcode::RspIFwdM, 64)
-                }
-                Some(LineState::Shared) => (CacheOpcode::RspSHitSe, 0),
-                None => (CacheOpcode::RspIHitI, 0),
-            },
-            CacheOpcode::SnpCur => match state {
-                Some(LineState::Modified) => (CacheOpcode::RspIFwdM, 64),
-                Some(LineState::Shared) => (CacheOpcode::RspSHitSe, 0),
-                None => (CacheOpcode::RspIHitI, 0),
-            },
-            _ => return,
+        let Some((next, rsp, bytes)) = protocol::snoop_transition(state, op) else {
+            return;
         };
+        match (state, next) {
+            (Some(_), None) => {
+                self.lines.remove(&line);
+                self.lru.retain(|&l| l != line);
+                self.invalidations.inc();
+            }
+            (Some(LineState::Modified), Some(LineState::Shared)) => {
+                self.lines.insert(line, LineState::Shared);
+                self.downgrades.inc();
+            }
+            _ => {}
+        }
         let reply = txn.response(TransactionKind::Cache(rsp), bytes);
         ctx.send(self.fha, self.hit_latency, SnoopReply { txn: reply });
     }
@@ -302,6 +271,25 @@ impl Component for CoherentL1 {
             Ok(s) => self.on_snoop(ctx, s),
             Err(m) => panic!("coherent l1: unexpected message {}", m.type_name()),
         }
+    }
+
+    fn outstanding(&self) -> Vec<PendingWork> {
+        let mut tags: Vec<u64> = self.outstanding.keys().copied().collect();
+        tags.sort_unstable();
+        tags.iter()
+            .map(|tag| {
+                let p = &self.outstanding[tag];
+                let kind = if p.tag == u64::MAX {
+                    "eviction"
+                } else {
+                    "miss"
+                };
+                PendingWork {
+                    what: format!("{kind} for {:#x} awaiting completion", p.addr),
+                    waiting_on: Some(self.fha),
+                }
+            })
+            .collect()
     }
 }
 

@@ -234,6 +234,8 @@ impl CpuCore {
         };
         let window = self.window_for(&run.pattern);
         loop {
+            // Checked `Some` at entry and never cleared inside the loop.
+            #[allow(clippy::expect_used)]
             let run = self.run.as_mut().expect("active run");
             if run.in_flight.len() >= window {
                 break;
@@ -290,6 +292,8 @@ impl CpuCore {
         let plan = self.hierarchy.access(addr, write, ctx.now());
         match plan.level {
             ServiceLevel::Remote => {
+                // A hierarchy that returns Remote is only built when an FHA is wired.
+                #[allow(clippy::expect_used)]
                 let fha = self.fha.expect("remote access without an FHA");
                 let op = if write {
                     HostOp::Write { addr, bytes: 64 }
@@ -334,6 +338,8 @@ impl CpuCore {
         }
         let done = run.phase == Phase::Measure && run.completed >= count;
         if done {
+            // `done` was computed from `run` a few lines above.
+            #[allow(clippy::expect_used)]
             let run = self.run.take().expect("active");
             let served = [
                 self.hierarchy.served[0] - run.served_at_start[0],

@@ -21,6 +21,7 @@ pub mod coherent;
 pub mod core;
 pub mod hierarchy;
 pub mod prefetch;
+pub mod protocol;
 pub mod sa_cache;
 
 pub use crate::core::{AccessPattern, CoreReport, CpuCore, RunDone, StartRun};

@@ -63,6 +63,8 @@ impl StridePrefetcher {
         }
         match best {
             Some(i) => {
+                // `best` only ever indexes slots seen occupied in the scan above.
+                #[allow(clippy::expect_used)]
                 let e = self.table[i].as_mut().expect("present");
                 let delta = addr as i64 - e.last_addr as i64;
                 if delta == e.stride {
@@ -85,6 +87,8 @@ impl StridePrefetcher {
             }
             None => {
                 // Allocate: reuse the least-recently-used slot.
+                // The table is sized at construction and never shrinks.
+                #[allow(clippy::expect_used)]
                 let slot = self
                     .table
                     .iter()

@@ -1,0 +1,141 @@
+//! The pure host-side MESI line protocol.
+//!
+//! These are the per-line state transitions that [`CoherentL1`]
+//! (crate::coherent::CoherentL1) executes in response to local accesses
+//! and directory snoops, factored out of the event-driven component so
+//! they can also be driven exhaustively by the `fcc-verify` model
+//! checker. Keeping one copy of the transition rules means the checker
+//! exercises exactly the logic the simulator runs.
+//!
+//! A line a host does not hold is Invalid; held lines are [`Shared`]
+//! (read-only) or [`Modified`] (writable, possibly dirty) — the MESI
+//! subset the CXL.cache device side needs (`Exclusive` is folded into
+//! `Modified`: the directory grants ownership eagerly).
+//!
+//! [`Shared`]: HostLineState::Shared
+//! [`Modified`]: HostLineState::Modified
+
+use fcc_proto::channel::CacheOpcode;
+
+/// Local state of one held line (a missing line is Invalid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostLineState {
+    /// Read-only copy.
+    Shared,
+    /// Writable copy, possibly dirty.
+    Modified,
+}
+
+/// Whether an access can complete locally against `state`.
+///
+/// Loads hit in `Shared` or `Modified`; stores hit only in `Modified`
+/// (a store to a `Shared` line is an upgrade miss — ownership must be
+/// requested from the directory first).
+pub fn access_hits(state: Option<HostLineState>, write: bool) -> bool {
+    matches!(
+        (state, write),
+        (Some(HostLineState::Modified), _) | (Some(HostLineState::Shared), false)
+    )
+}
+
+/// The fabric request opcode for an access that missed.
+pub fn miss_request(write: bool) -> CacheOpcode {
+    if write {
+        CacheOpcode::RdOwn
+    } else {
+        CacheOpcode::RdShared
+    }
+}
+
+/// The line state installed when the miss response (for a load or a
+/// store) arrives.
+pub fn fill_state(write: bool) -> HostLineState {
+    if write {
+        HostLineState::Modified
+    } else {
+        HostLineState::Shared
+    }
+}
+
+/// The eviction opcode and writeback payload size for dropping a line.
+///
+/// `Modified` lines carry their dirty data back (`DirtyEvict`);
+/// `Shared` lines are dropped silently toward memory (`CleanEvict`,
+/// no payload).
+pub fn evict_op(state: HostLineState) -> (CacheOpcode, u32) {
+    match state {
+        HostLineState::Modified => (CacheOpcode::DirtyEvict, 64),
+        HostLineState::Shared => (CacheOpcode::CleanEvict, 0),
+    }
+}
+
+/// Applies a directory snoop to a line.
+///
+/// Returns `(next_state, response_opcode, data_bytes)`, or `None` if
+/// `op` is not a snoop opcode. `data_bytes > 0` (a `RspIFwdM`
+/// response) means the host forwards its dirty copy.
+pub fn snoop_transition(
+    state: Option<HostLineState>,
+    op: CacheOpcode,
+) -> Option<(Option<HostLineState>, CacheOpcode, u32)> {
+    use HostLineState::{Modified, Shared};
+    Some(match op {
+        // Invalidate: drop the copy, forwarding dirty data if modified.
+        CacheOpcode::SnpInv => match state {
+            Some(Modified) => (None, CacheOpcode::RspIFwdM, 64),
+            _ => (None, CacheOpcode::RspIHitI, 0),
+        },
+        // Downgrade: keep a read-only copy, forwarding dirty data.
+        CacheOpcode::SnpData => match state {
+            Some(Modified) => (Some(Shared), CacheOpcode::RspIFwdM, 64),
+            Some(Shared) => (Some(Shared), CacheOpcode::RspSHitSe, 0),
+            None => (None, CacheOpcode::RspIHitI, 0),
+        },
+        // Current value only: no state change.
+        CacheOpcode::SnpCur => match state {
+            Some(Modified) => (Some(Modified), CacheOpcode::RspIFwdM, 64),
+            Some(Shared) => (Some(Shared), CacheOpcode::RspSHitSe, 0),
+            None => (None, CacheOpcode::RspIHitI, 0),
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_follow_mesi() {
+        assert!(access_hits(Some(HostLineState::Shared), false));
+        assert!(!access_hits(Some(HostLineState::Shared), true));
+        assert!(access_hits(Some(HostLineState::Modified), true));
+        assert!(!access_hits(None, false));
+    }
+
+    #[test]
+    fn snoop_inv_always_invalidates() {
+        for s in [
+            None,
+            Some(HostLineState::Shared),
+            Some(HostLineState::Modified),
+        ] {
+            let (next, _, _) = snoop_transition(s, CacheOpcode::SnpInv).unwrap();
+            assert_eq!(next, None);
+        }
+    }
+
+    #[test]
+    fn snoop_data_downgrades_and_forwards() {
+        let (next, rsp, bytes) =
+            snoop_transition(Some(HostLineState::Modified), CacheOpcode::SnpData).unwrap();
+        assert_eq!(next, Some(HostLineState::Shared));
+        assert_eq!(rsp, CacheOpcode::RspIFwdM);
+        assert_eq!(bytes, 64);
+    }
+
+    #[test]
+    fn non_snoop_opcode_is_rejected() {
+        assert!(snoop_transition(None, CacheOpcode::RdOwn).is_none());
+    }
+}

@@ -130,6 +130,8 @@ impl SetAssocCache {
         }
         self.misses += 1;
         // Victim: invalid first, else LRU.
+        // Associativity is validated non-zero at construction.
+        #[allow(clippy::expect_used)]
         let victim_idx = ways
             .iter()
             .enumerate()

@@ -101,6 +101,8 @@ impl Component for ArbiterClient {
         };
         match msg.downcast::<ArbiterResponse>() {
             Ok(rsp) => {
+                // The arbiter only echoes tags this client issued.
+                #[allow(clippy::expect_used)]
                 let (future_id, reply_to, issued_at) = self
                     .pending
                     .remove(&rsp.tag)

@@ -35,15 +35,13 @@ pub enum TransOwnership {
 }
 
 /// Scheduling attributes of a transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TransAttrs {
     /// Tenant for control-plane throttling.
     pub tenant: u32,
     /// Larger = drained first among queued jobs.
     pub priority: u8,
 }
-
 
 /// The elastic transaction: scattered source ranges to scattered
 /// destination ranges.
@@ -187,7 +185,9 @@ impl TransactionEngine {
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, job: Job) {
-        // Least-loaded agent (by queued bytes).
+        // Least-loaded agent (by queued bytes); at least one agent is
+        // registered before any job is dispatched.
+        #[allow(clippy::expect_used)]
         let (idx, _) = self
             .agent_load
             .iter()
@@ -269,6 +269,8 @@ impl Component for TransactionEngine {
         };
         match msg.downcast::<JobDone>() {
             Ok(done) => {
+                // Agents only complete jobs this coordinator handed them.
+                #[allow(clippy::expect_used)]
                 let (job, agent_idx) = self
                     .inflight
                     .remove(&done.job_id)
@@ -448,6 +450,8 @@ impl Component for MigrationAgent {
         };
         match msg.downcast::<HostCompletion>() {
             Ok(hc) => {
+                // The FHA only echoes tags this agent issued.
+                #[allow(clippy::expect_used)]
                 let state = self
                     .outstanding
                     .remove(&hc.tag)
@@ -471,6 +475,9 @@ impl Component for MigrationAgent {
                     }
                     ChunkState::Writing => {
                         self.chunks_moved.inc();
+                        // A Writing chunk completion implies the job that
+                        // issued it is still at the head of the queue.
+                        #[allow(clippy::expect_used)]
                         let finished_job = {
                             let active = self.queue.front_mut().expect("job active");
                             active.done_chunks += 1;

@@ -203,6 +203,8 @@ impl FaaEngine {
         }
         self.quantum_used += 1;
         let state = &mut self.functions[next as usize];
+        // The scheduler only picks functions with a non-empty submission queue.
+        #[allow(clippy::expect_used)]
         let queued = state.sq.pop_front().expect("picked non-empty");
         let handler = state
             .template

@@ -432,6 +432,8 @@ impl UnifiedHeap {
             let Some(target) = target else {
                 continue;
             };
+            // The ranking above was built from `objects` keys.
+            #[allow(clippy::expect_used)]
             let meta = self.objects.get(&id).expect("ranked from objects");
             let (from, addr, osize) = (meta.node, meta.addr, meta.size);
             if from == target {
@@ -442,6 +444,8 @@ impl UnifiedHeap {
                 continue;
             };
             self.nodes[from].bins.release(addr, osize);
+            // Looked up successfully just above.
+            #[allow(clippy::expect_used)]
             let meta = self.objects.get_mut(&id).expect("present");
             meta.node = target;
             meta.addr = new_addr;

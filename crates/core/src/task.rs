@@ -329,12 +329,14 @@ impl DagRuntime {
             );
             // Wait out any outage at the start instant.
             while failures.is_down(exec.domain, start) {
+                #[allow(clippy::expect_used)]
                 let recovery = failures
                     .events()
                     .iter()
                     .filter(|e| e.domain == exec.domain && e.at <= start && start < e.recovered_at)
                     .map(|e| e.recovered_at)
                     .max()
+                    // `is_down` returned true, so a covering outage exists.
                     .expect("down implies an active outage");
                 start = recovery;
             }
@@ -416,12 +418,14 @@ impl DagRuntime {
     ) -> SimTime {
         loop {
             while failures.is_down(domain, start) {
+                #[allow(clippy::expect_used)]
                 let recovery = failures
                     .events()
                     .iter()
                     .filter(|e| e.domain == domain && e.at <= start && start < e.recovered_at)
                     .map(|e| e.recovered_at)
                     .max()
+                    // `is_down` returned true, so a covering outage exists.
                     .expect("active outage");
                 start = recovery;
                 end = start + self.checkpointed_duration(remaining, stats);

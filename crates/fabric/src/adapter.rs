@@ -16,7 +16,7 @@ use fcc_proto::channel::{MemOpcode, Transaction, TransactionKind};
 use fcc_proto::flit::{flits_for_transfer, FlitPayload};
 use fcc_proto::link::CreditConfig;
 use fcc_proto::phys::PhysConfig;
-use fcc_sim::{Component, ComponentId, Counter, Ctx, Histogram, Msg, SimTime};
+use fcc_sim::{Component, ComponentId, Counter, Ctx, Histogram, Msg, PendingWork, SimTime};
 
 use crate::endpoint::Endpoint;
 use crate::port::{FlitMsg, LinkPort, PortEvent};
@@ -312,6 +312,8 @@ impl Fha {
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        // Callers only pass ids they just found in `outstanding`.
+        #[allow(clippy::expect_used)]
         let pending = self
             .outstanding
             .remove(&id)
@@ -431,6 +433,28 @@ impl Component for Fha {
             }
             Err(m) => panic!("fha: unexpected message {}", m.type_name()),
         }
+    }
+
+    fn outstanding(&self) -> Vec<PendingWork> {
+        let mut ids: Vec<u64> = self.outstanding.keys().copied().collect();
+        ids.sort_unstable();
+        let mut out: Vec<PendingWork> = ids
+            .iter()
+            .map(|id| PendingWork {
+                what: format!("txn {id:#x} awaiting fabric response"),
+                waiting_on: self.port.peer_opt(),
+            })
+            .collect();
+        if !self.waitq.is_empty() {
+            out.push(PendingWork {
+                what: format!(
+                    "{} request(s) queued behind the outstanding window",
+                    self.waitq.len()
+                ),
+                waiting_on: self.port.peer_opt(),
+            });
+        }
+        out
     }
 }
 
@@ -612,8 +636,9 @@ impl Fea {
                     r.slots_got >= r.slots_needed
                 };
                 if done {
-                    let r = self.reassembly.remove(&txn_id).expect("present");
-                    self.try_admit(ctx, r.txn);
+                    if let Some(r) = self.reassembly.remove(&txn_id) {
+                        self.try_admit(ctx, r.txn);
+                    }
                 }
             }
             other => {

@@ -325,7 +325,10 @@ mod tests {
             SimTime::from_ns(100.0),
             1 << 20,
         );
-        dev.service(&txn(TransactionKind::Mem(MemOpcode::MemRd), 64), SimTime::ZERO);
+        dev.service(
+            &txn(TransactionKind::Mem(MemOpcode::MemRd), 64),
+            SimTime::ZERO,
+        );
         // A much later access is admitted immediately.
         let r = dev.service(
             &txn(TransactionKind::Mem(MemOpcode::MemRd), 64),

@@ -17,6 +17,8 @@
 //!   Adapter (FEA).
 //! * [`endpoint`] — the device behind an FEA ([`endpoint::Endpoint`]
 //!   trait); real DRAM devices live in `fcc-memnode`.
+//! * [`ledger`] — credit-conservation auditing over the link-layer and
+//!   allocator ledgers (run at quiescence; see `scripts/check.sh`).
 //! * [`routing`] — PBR (intra-domain) and HBR (inter-domain) tables.
 //! * [`manager`] — the fabric manager: discovery and routing-table fill.
 //! * [`topology`] — declarative assembly of hosts, switches and chassis
@@ -31,6 +33,7 @@ pub mod arbiter;
 pub mod commfabric;
 pub mod credit;
 pub mod endpoint;
+pub mod ledger;
 pub mod manager;
 pub mod port;
 pub mod routing;
@@ -42,6 +45,7 @@ pub use arbiter::{ArbiterOp, ArbiterRequest, ArbiterResponse, ArbiterResult, Fab
 pub use commfabric::{RdmaCompletion, RdmaConfig, RdmaNic, RdmaOp};
 pub use credit::AllocPolicy;
 pub use endpoint::{Endpoint, EndpointResponse, FixedLatencyMemory};
+pub use ledger::{audit_topology, AuditFinding, AuditReport};
 pub use manager::FabricManager;
 pub use port::{FlitMsg, LinkPort, PortEvent};
 pub use routing::{DomainId, RoutingTable};

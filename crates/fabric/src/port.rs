@@ -90,7 +90,13 @@ impl LinkPort {
     ///
     /// Panics if the port was never connected.
     pub fn peer(&self) -> ComponentId {
+        #[allow(clippy::expect_used)] // a send on an unwired port is a topology bug
         self.peer.expect("port not connected")
+    }
+
+    /// The connected peer, if the port has been wired up.
+    pub fn peer_opt(&self) -> Option<ComponentId> {
+        self.peer
     }
 
     /// Whether the local pending queue can take another payload.
@@ -130,6 +136,8 @@ impl LinkPort {
     ///
     /// Panics if the link layer refuses the payload.
     pub fn send_now(&mut self, ctx: &mut Ctx<'_>, payload: FlitPayload) {
+        // Documented-panic API: the caller contract is can_send_now first.
+        #[allow(clippy::expect_used)]
         let flit = self
             .link
             .send(payload)
@@ -143,7 +151,11 @@ impl LinkPort {
             if !self.link.can_send(front.msg_class()) {
                 break;
             }
+            // front() was Some and can_send was checked on the same
+            // single-threaded link state, so both steps must succeed.
+            #[allow(clippy::expect_used)]
             let payload = self.pending.pop_front().expect("front exists");
+            #[allow(clippy::expect_used)]
             let flit = self.link.send(payload).expect("can_send checked");
             self.transmit(ctx, flit);
         }
@@ -170,6 +182,9 @@ impl LinkPort {
 
     /// Sends a control payload (uncredited) onto the wire.
     fn transmit_control(&mut self, ctx: &mut Ctx<'_>, payload: FlitPayload) {
+        // Control payloads bypass credits and the retry buffer, so the
+        // link layer can never refuse them.
+        #[allow(clippy::expect_used)]
         let flit = self.link.send(payload).expect("control is uncredited");
         self.transmit(ctx, flit);
     }

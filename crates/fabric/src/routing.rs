@@ -15,8 +15,7 @@ use serde::{Deserialize, Serialize};
 use fcc_proto::addr::NodeId;
 
 /// A routing domain (a set of PBR-interconnected switches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct DomainId(pub u8);
 
 /// Per-switch routing state.
@@ -30,7 +29,6 @@ pub struct RoutingTable {
     /// Which domain each known node lives in.
     domain_of: HashMap<NodeId, DomainId>,
 }
-
 
 impl RoutingTable {
     /// Creates an empty table for a switch in `local_domain`.

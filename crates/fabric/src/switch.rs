@@ -30,7 +30,7 @@ use fcc_proto::channel::MsgClass;
 use fcc_proto::flit::FlitPayload;
 use fcc_proto::link::CreditConfig;
 use fcc_proto::phys::PhysConfig;
-use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, SimTime, TokenBucket};
+use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, PendingWork, SimTime, TokenBucket};
 
 use crate::credit::{AllocPolicy, RampUpState};
 use crate::port::{FlitMsg, LinkPort, PortEvent};
@@ -280,6 +280,30 @@ impl FabricSwitch {
             .unwrap_or_default()
     }
 
+    /// Audits every credit ledger this switch maintains: each port's link
+    /// layer (see [`fcc_proto::link::LinkLayer::audit`]) and each output's
+    /// ramp-up allocator (see [`RampUpState::audit`]).
+    ///
+    /// Call at quiescence; with flits in flight the in-transit credits are
+    /// reported as imbalances. See [`crate::ledger`] for topology-wide
+    /// sweeps.
+    pub fn audit(&self) -> crate::ledger::AuditReport {
+        let mut report = crate::ledger::AuditReport::default();
+        for (p, port) in self.ports.iter().enumerate() {
+            if let Err(e) = port.link.audit() {
+                report.push(format!("port {p}"), e.to_string());
+            }
+        }
+        for (out, state) in self.ramp.iter().enumerate() {
+            if let Some(state) = state {
+                if let Err(e) = state.audit() {
+                    report.push(format!("ramp[output {out}]"), e);
+                }
+            }
+        }
+        report
+    }
+
     fn flow_of(payload: &FlitPayload) -> FlowId {
         match payload {
             FlitPayload::Transaction(t) => FlowId {
@@ -352,9 +376,13 @@ impl FabricSwitch {
         match self.cfg.queueing {
             QueueDiscipline::Fifo => self.fifo[in_port].push_back(entry),
             QueueDiscipline::Voq => {
-                let out = self
-                    .pick_output(dst, ctx.now())
-                    .expect("route checked above");
+                // route() was checked above, but a racing route removal
+                // would leave no candidate: drop rather than panic.
+                let Some(out) = self.pick_output(dst, ctx.now()) else {
+                    self.unroutable.inc();
+                    self.ports[in_port].release(ctx, class);
+                    return;
+                };
                 self.voq[in_port][out].push_back(entry);
             }
         }
@@ -425,11 +453,11 @@ impl FabricSwitch {
                 if reserved_phase {
                     return Err(None);
                 }
-                let state = self.ramp_state(out).expect("ramp policy");
-                if state.may_send(i) {
-                    Ok(())
-                } else {
-                    Err(None)
+                // ramp_state is Some whenever the policy is RampUp; treat
+                // the impossible None as "no allocation gate".
+                match self.ramp_state(out) {
+                    Some(state) if !state.may_send(i) => Err(None),
+                    _ => Ok(()),
                 }
             }
             AllocPolicy::Arbitrated => {
@@ -508,15 +536,17 @@ impl FabricSwitch {
         reserved_phase: bool,
         next_kick: &mut Option<SimTime>,
     ) -> bool {
-        let Some((ready_at, dst, flow, class)) = self.fifo[i].front().map(|h| {
-            (
-                h.ready_at,
-                Self::dst_of(&h.payload).expect("routable"),
-                h.flow,
-                h.class,
-            )
-        }) else {
+        let Some(head) = self.fifo[i].front() else {
             return false;
+        };
+        let (ready_at, flow, class) = (head.ready_at, head.flow, head.class);
+        let Some(dst) = Self::dst_of(&head.payload) else {
+            // admit() only queues routable payloads; drop defensively.
+            self.unroutable.inc();
+            if self.fifo[i].pop_front().is_some() {
+                self.ports[i].release(ctx, class);
+            }
+            return true;
         };
         if ready_at > now {
             self.note_kick(next_kick, ready_at);
@@ -537,7 +567,9 @@ impl FabricSwitch {
         if !self.ports[out].link.can_send(class) {
             return false;
         }
-        let entry = self.fifo[i].pop_front().expect("front checked");
+        let Some(entry) = self.fifo[i].pop_front() else {
+            return false;
+        };
         self.finish_dispatch(ctx, i, out, entry, now);
         true
     }
@@ -574,7 +606,9 @@ impl FabricSwitch {
             if !self.ports[out].link.can_send(class) {
                 continue;
             }
-            let entry = self.voq[i][out].pop_front().expect("front checked");
+            let Some(entry) = self.voq[i][out].pop_front() else {
+                continue;
+            };
             self.finish_dispatch(ctx, i, out, entry, now);
             return true;
         }
@@ -618,7 +652,11 @@ impl Component for FabricSwitch {
         let src = msg.src;
         let msg = match msg.downcast::<FlitMsg>() {
             Ok(fm) => {
+                // Flits arrive only via ctx.send from a wired peer; a
+                // source-less or unknown sender is a topology bug.
+                #[allow(clippy::expect_used)]
                 let src = src.expect("flits always have a source");
+                #[allow(clippy::expect_used)]
                 let port = *self
                     .peer_to_port
                     .get(&src)
@@ -642,7 +680,9 @@ impl Component for FabricSwitch {
         let msg = match msg.downcast::<WindowTick>() {
             Ok(WindowTick) => {
                 for state in self.ramp.iter_mut().flatten() {
+                    debug_assert!(state.audit().is_ok(), "{:?}", state.audit());
                     state.rollover();
+                    debug_assert!(state.audit().is_ok(), "{:?}", state.audit());
                 }
                 self.tick_armed = false;
                 if self.queued() > 0 {
@@ -704,6 +744,44 @@ impl Component for FabricSwitch {
             }
             Err(m) => panic!("switch: unexpected message {}", m.type_name()),
         }
+    }
+
+    fn outstanding(&self) -> Vec<PendingWork> {
+        let mut out = Vec::new();
+        for (i, q) in self.fifo.iter().enumerate() {
+            if let Some(head) = q.front() {
+                // The whole FIFO waits behind its head's egress.
+                let waiting_on = Self::dst_of(&head.payload)
+                    .and_then(|d| self.pick_output(d, SimTime::ZERO))
+                    .and_then(|o| self.ports[o].peer_opt());
+                out.push(PendingWork {
+                    what: format!("{} flit(s) queued at input {i}", q.len()),
+                    waiting_on,
+                });
+            }
+        }
+        for (i, row) in self.voq.iter().enumerate() {
+            for (o, q) in row.iter().enumerate() {
+                if !q.is_empty() {
+                    out.push(PendingWork {
+                        what: format!("{} flit(s) queued input {i} -> output {o}", q.len()),
+                        waiting_on: self.ports[o].peer_opt(),
+                    });
+                }
+            }
+        }
+        for (p, port) in self.ports.iter().enumerate() {
+            if port.pending_len() > 0 {
+                out.push(PendingWork {
+                    what: format!(
+                        "{} payload(s) awaiting tx credit on port {p}",
+                        port.pending_len()
+                    ),
+                    waiting_on: port.peer_opt(),
+                });
+            }
+        }
+        out
     }
 }
 

@@ -300,6 +300,9 @@ pub fn chain(engine: &mut Engine, spec: TopologySpec, stages: Vec<StageSpec>) ->
             if stage == i {
                 continue; // local PBR already installed by attach.
             }
+            // A node at a farther stage implies the chain link toward it
+            // was created in the wiring loop above.
+            #[allow(clippy::expect_used)]
             let port = if stage > i {
                 right_port[i].expect("right link exists")
             } else {

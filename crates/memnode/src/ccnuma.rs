@@ -13,7 +13,7 @@ use fcc_proto::channel::{CacheOpcode, Transaction, TransactionKind};
 use fcc_proto::flit::{flits_for_transfer, FlitPayload};
 use fcc_proto::link::CreditConfig;
 use fcc_proto::phys::PhysConfig;
-use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, SimTime};
+use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, PendingWork, SimTime};
 
 use fcc_fabric::port::{FlitMsg, LinkPort, PortEvent};
 
@@ -237,6 +237,8 @@ impl DirectoryNode {
                 // Write the forwarded dirty line back to memory first.
                 let _ = self.dram.access(line, 64, ctx.now());
             }
+            // snoop_response resolving means a request was parked here.
+            #[allow(clippy::expect_used)]
             let req = self.inflight.remove(&line).expect("request awaited snoops");
             self.serviced.inc();
             self.respond_data(ctx, &req);
@@ -277,8 +279,9 @@ impl DirectoryNode {
                     r.slots_got >= r.slots_needed
                 };
                 if done {
-                    let r = self.reassembly.remove(&txn_id).expect("present");
-                    self.handle_request(ctx, r.txn);
+                    if let Some(r) = self.reassembly.remove(&txn_id) {
+                        self.handle_request(ctx, r.txn);
+                    }
                 }
             }
             _ => {}
@@ -305,6 +308,38 @@ impl Component for DirectoryNode {
             }
             Err(m) => panic!("directory node: unexpected message {}", m.type_name()),
         }
+    }
+
+    fn outstanding(&self) -> Vec<PendingWork> {
+        let mut out = Vec::new();
+        let mut lines: Vec<u64> = self.inflight.keys().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            out.push(PendingWork {
+                what: format!("line {line:#x} awaiting snoop responses"),
+                waiting_on: self.port.peer_opt(),
+            });
+        }
+        let mut lines: Vec<u64> = self.deferred.keys().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            let n = self.deferred[&line].len();
+            if n > 0 {
+                out.push(PendingWork {
+                    what: format!("{n} request(s) deferred on busy line {line:#x}"),
+                    waiting_on: None,
+                });
+            }
+        }
+        let mut ids: Vec<u64> = self.reassembly.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            out.push(PendingWork {
+                what: format!("txn {id:#x} awaiting data slots"),
+                waiting_on: self.port.peer_opt(),
+            });
+        }
+        out
     }
 }
 

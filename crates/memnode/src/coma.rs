@@ -92,6 +92,9 @@ impl AttractionMemory {
         self.lru.push_back(line);
     }
 
+    // The LRU list mirrors `lines` exactly and capacity >= 1, so a victim
+    // distinct from the incoming line always exists when full.
+    #[allow(clippy::expect_used)]
     fn insert(&mut self, line: u64, master: bool) -> Option<(u64, bool)> {
         let evicted = if !self.lines.contains_key(&line) && self.lines.len() >= self.capacity_lines
         {
@@ -177,6 +180,9 @@ impl ComaDirectory {
     /// # Panics
     ///
     /// Panics if the node is unknown.
+    // Node existence is asserted on entry and holders/master stay
+    // consistent with `nodes`, so the lookups below cannot miss.
+    #[allow(clippy::expect_used)]
     pub fn access(&mut self, node: NodeId, line: u64, is_write: bool) -> ComaEvent {
         assert!(self.nodes.contains_key(&node), "unknown node {node}");
         let local_hit = self.nodes[&node].contains(line);
@@ -230,6 +236,9 @@ impl ComaDirectory {
     }
 
     /// Inserts a copy at `node`, handling eviction fallout.
+    // Callers pass nodes validated by `access`, and an evicted victim was
+    // by construction held by the evicting node.
+    #[allow(clippy::expect_used)]
     fn place(&mut self, node: NodeId, line: u64, master: bool) {
         let evicted = self
             .nodes

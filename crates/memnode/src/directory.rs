@@ -13,7 +13,7 @@ use std::collections::{BTreeSet, HashMap};
 use fcc_proto::addr::NodeId;
 
 /// Stable directory state of one line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LineState {
     /// No cached copies; memory is the only holder.
     Uncached,
@@ -24,7 +24,7 @@ pub enum LineState {
 }
 
 /// Access grant issued to a requester once a request resolves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Grant {
     /// Read-only copy.
     Shared,
@@ -33,7 +33,7 @@ pub enum Grant {
 }
 
 /// Snoop kinds the directory sends to caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SnoopKind {
     /// Fetch the dirty data and downgrade the holder to Shared.
     Data,
@@ -53,7 +53,7 @@ pub enum DirOutcome {
     Busy,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Pending {
     requester: NodeId,
     want: Grant,
@@ -62,14 +62,14 @@ struct Pending {
     dirty_data: bool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Line {
     state: Option<LineState>,
     pending: Option<Pending>,
 }
 
 /// The directory controller state for one CC-NUMA node.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Directory {
     lines: HashMap<u64, Line>,
     /// Snoops issued (statistics).
@@ -77,6 +77,10 @@ pub struct Directory {
     /// Requests that found the line busy.
     pub busy_rejections: u64,
 }
+
+/// One line's entry in a [`DirectoryController::canonical`] snapshot:
+/// `(line_addr, state, pending (requester, grant, sharers-to-ack, data_ready))`.
+pub type CanonicalLine = (u64, LineState, Option<(NodeId, Grant, Vec<NodeId>, bool)>);
 
 impl Directory {
     /// Creates an empty directory.
@@ -203,7 +207,11 @@ impl Directory {
         from: NodeId,
         had_dirty_data: bool,
     ) -> Option<(NodeId, Grant, bool)> {
+        // Documented-panic API: a snoop response without an outstanding
+        // snoop is a protocol bug the caller must not paper over.
+        #[allow(clippy::expect_used)]
         let entry = self.lines.get_mut(&line).expect("line exists");
+        #[allow(clippy::expect_used)]
         let pending = entry.pending.as_mut().expect("pending request");
         assert!(
             pending.awaiting.remove(&from),
@@ -213,6 +221,8 @@ impl Directory {
         if !pending.awaiting.is_empty() {
             return None;
         }
+        // `as_mut` above proved pending is Some.
+        #[allow(clippy::expect_used)]
         let pending = entry.pending.take().expect("checked");
         let new_state = match pending.want {
             Grant::Shared => {
@@ -248,6 +258,39 @@ impl Directory {
             }
             other => other,
         });
+    }
+
+    /// A canonical, hashable snapshot of the protocol-relevant state.
+    ///
+    /// Entries are sorted by line address; lines that are `Uncached`
+    /// with no pending request are omitted, and the statistics
+    /// counters (`snoops_sent`, `busy_rejections`) are excluded — two
+    /// directories that would behave identically from here on produce
+    /// equal snapshots. Used by the `fcc-verify` model checker to
+    /// deduplicate explored states.
+    pub fn canonical(&self) -> Vec<CanonicalLine> {
+        let mut entries: Vec<_> = self
+            .lines
+            .iter()
+            .filter_map(|(&addr, l)| {
+                let state = l.state.clone().unwrap_or(LineState::Uncached);
+                let pending = l.pending.as_ref().map(|p| {
+                    (
+                        p.requester,
+                        p.want,
+                        p.awaiting.iter().copied().collect::<Vec<_>>(),
+                        p.dirty_data,
+                    )
+                });
+                if state == LineState::Uncached && pending.is_none() {
+                    None
+                } else {
+                    Some((addr, state, pending))
+                }
+            })
+            .collect();
+        entries.sort_by_key(|e| e.0);
+        entries
     }
 
     /// Checks the single-writer-multiple-reader invariant for all lines.

@@ -31,7 +31,7 @@ pub mod profile;
 
 pub use ccnuma::DirectoryNode;
 pub use coma::{AttractionMemory, ComaDirectory};
-pub use directory::{DirOutcome, Directory, Grant, LineState, SnoopKind};
+pub use directory::{CanonicalLine, DirOutcome, Directory, Grant, LineState, SnoopKind};
 pub use dram::{DramDevice, DramTiming};
 pub use expander::ExpanderDevice;
 pub use noncc::NonCoherentShared;

@@ -76,6 +76,7 @@ impl CreditConfig {
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct CreditCounter {
     available: u32,
+    granted_total: u64,
     consumed_total: u64,
     stalled_attempts: u64,
 }
@@ -84,6 +85,12 @@ impl CreditCounter {
     /// Credits currently available.
     pub fn available(&self) -> u32 {
         self.available
+    }
+
+    /// Lifetime credits granted by the peer (including the initial
+    /// advertisement).
+    pub fn granted_total(&self) -> u64 {
+        self.granted_total
     }
 
     /// Lifetime credits consumed.
@@ -110,7 +117,18 @@ impl CreditCounter {
 
     /// Grants credits (from a peer credit update).
     pub fn grant(&mut self, n: u32) {
+        let before = self.available;
         self.available = self.available.saturating_add(n);
+        // Ledger counts what was actually added, so conservation holds
+        // even if a buggy peer over-grants into saturation.
+        self.granted_total += u64::from(self.available - before);
+    }
+
+    /// Credit conservation: every credit ever granted is either consumed
+    /// or still available. A mismatch means credits were minted or
+    /// destroyed outside [`CreditCounter::grant`]/[`CreditCounter::try_consume`].
+    pub fn conserved(&self) -> bool {
+        self.granted_total == self.consumed_total + u64::from(self.available)
     }
 }
 
@@ -133,6 +151,32 @@ impl std::fmt::Display for LinkLayerError {
 }
 
 impl std::error::Error for LinkLayerError {}
+
+/// A violated credit-conservation equation, reported by
+/// [`LinkLayer::audit`] or [`audit_drained_pair`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreditLedgerError {
+    /// The message class whose ledger is inconsistent.
+    pub class: MsgClass,
+    /// The conservation equation that failed, in symbolic form.
+    pub equation: &'static str,
+    /// Left-hand side of the equation as evaluated.
+    pub lhs: u64,
+    /// Right-hand side of the equation as evaluated.
+    pub rhs: u64,
+}
+
+impl std::fmt::Display for CreditLedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "credit ledger violated for {:?}: {} ({} != {})",
+            self.class, self.equation, self.lhs, self.rhs
+        )
+    }
+}
+
+impl std::error::Error for CreditLedgerError {}
 
 /// What the receiver decided about an incoming flit.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,6 +208,11 @@ pub struct LinkLayer {
     pending_return: [u32; 4],
     delivered_since_ack: u32,
     nak_outstanding: bool,
+    // Conservation ledger: lifetime flits accepted into the receive
+    // buffer, drained out of it, and credits returned to the peer.
+    accepted_total: [u64; 4],
+    released_total: [u64; 4],
+    returned_total: [u64; 4],
     // Stats.
     retransmissions: u64,
     crc_drops: u64,
@@ -190,6 +239,9 @@ impl LinkLayer {
             pending_return: [0; 4],
             delivered_since_ack: 0,
             nak_outstanding: false,
+            accepted_total: [0; 4],
+            released_total: [0; 4],
+            returned_total: [0; 4],
             retransmissions: 0,
             crc_drops: 0,
             overflow_drops: 0,
@@ -285,8 +337,10 @@ impl LinkLayer {
         self.expected_seq += 1;
         self.rx_pool_used += 1;
         self.rx_class_used[class.index()] += 1;
+        self.accepted_total[class.index()] += 1;
         self.delivered_since_ack += 1;
         self.nak_outstanding = false;
+        debug_assert!(self.audit().is_ok(), "{:?}", self.audit());
         RxAction::Deliver(flit.payload)
     }
 
@@ -363,6 +417,8 @@ impl LinkLayer {
         self.rx_class_used[idx] -= 1;
         self.rx_pool_used -= 1;
         self.pending_return[idx] += 1;
+        self.released_total[idx] += 1;
+        debug_assert!(self.audit().is_ok(), "{:?}", self.audit());
     }
 
     /// Credit update the receiver owes the peer, if the return threshold
@@ -373,6 +429,7 @@ impl LinkLayer {
             if self.pending_return[idx] >= self.config.return_threshold {
                 let credits = self.pending_return[idx];
                 self.pending_return[idx] = 0;
+                self.returned_total[idx] += u64::from(credits);
                 return Some(FlitPayload::CreditUpdate { class, credits });
             }
         }
@@ -389,6 +446,7 @@ impl LinkLayer {
                     class,
                     credits: self.pending_return[idx],
                 });
+                self.returned_total[idx] += u64::from(self.pending_return[idx]);
                 self.pending_return[idx] = 0;
             }
         }
@@ -419,6 +477,107 @@ impl LinkLayer {
     pub fn rx_occupancy(&self) -> u32 {
         self.rx_pool_used
     }
+
+    /// Lifetime flits accepted into the receive buffer for a class.
+    pub fn accepted_total(&self, class: MsgClass) -> u64 {
+        self.accepted_total[class.index()]
+    }
+
+    /// Lifetime flits drained from the receive buffer for a class.
+    pub fn released_total(&self, class: MsgClass) -> u64 {
+        self.released_total[class.index()]
+    }
+
+    /// Lifetime credits returned to the peer for a class.
+    pub fn returned_total(&self, class: MsgClass) -> u64 {
+        self.returned_total[class.index()]
+    }
+
+    /// Checks every credit-conservation equation this endpoint can verify
+    /// locally, returning the first violated one.
+    ///
+    /// For each managed class:
+    ///
+    /// * `granted == consumed + available` — the TX counter neither mints
+    ///   nor destroys credits ([`CreditCounter::conserved`]);
+    /// * `accepted - released == rx_class_used` — every buffered flit is
+    ///   accounted for until drained;
+    /// * `released - returned == pending_return` — every drained flit's
+    ///   credit is either already returned or queued for return;
+    /// * and across classes, `sum(rx_class_used) == rx_pool_used` — the
+    ///   shared pool occupancy matches the per-class ledgers.
+    pub fn audit(&self) -> Result<(), CreditLedgerError> {
+        for class in MsgClass::MANAGED {
+            let idx = class.index();
+            let tx = &self.tx_credits[idx];
+            if !tx.conserved() {
+                return Err(CreditLedgerError {
+                    class,
+                    equation: "granted == consumed + available",
+                    lhs: tx.granted_total(),
+                    rhs: tx.consumed_total() + u64::from(tx.available()),
+                });
+            }
+            let buffered = self.accepted_total[idx] - self.released_total[idx];
+            if buffered != u64::from(self.rx_class_used[idx]) {
+                return Err(CreditLedgerError {
+                    class,
+                    equation: "accepted - released == rx_class_used",
+                    lhs: buffered,
+                    rhs: u64::from(self.rx_class_used[idx]),
+                });
+            }
+            let owed = self.released_total[idx] - self.returned_total[idx];
+            if owed != u64::from(self.pending_return[idx]) {
+                return Err(CreditLedgerError {
+                    class,
+                    equation: "released - returned == pending_return",
+                    lhs: owed,
+                    rhs: u64::from(self.pending_return[idx]),
+                });
+            }
+        }
+        let class_sum: u32 = self.rx_class_used.iter().sum();
+        if class_sum != self.rx_pool_used {
+            return Err(CreditLedgerError {
+                class: MsgClass::Req,
+                equation: "sum(rx_class_used) == rx_pool_used",
+                lhs: u64::from(class_sum),
+                rhs: u64::from(self.rx_pool_used),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Leak check across a fully drained link pair: once `rx` has been drained
+/// (every delivered flit [`LinkLayer::release`]d) and all credit updates
+/// flushed back into `tx`, every advertised credit must be back in `tx`'s
+/// counter — none held by buffered flits, none stranded in
+/// `pending_return`, none lost in flight.
+///
+/// Call only at quiescence (no flits or credit updates still on the wire);
+/// mid-flight the in-transit credits legitimately make the sum fall short.
+pub fn audit_drained_pair(tx: &LinkLayer, rx: &LinkLayer) -> Result<(), CreditLedgerError> {
+    tx.audit()?;
+    rx.audit()?;
+    // tx's credits were advertised from rx's receive config.
+    let advertised = u64::from(rx.config.advertised_per_class());
+    for class in MsgClass::MANAGED {
+        let idx = class.index();
+        let located = u64::from(tx.tx_credits[idx].available())
+            + u64::from(rx.rx_class_used[idx])
+            + u64::from(rx.pending_return[idx]);
+        if located != advertised {
+            return Err(CreditLedgerError {
+                class,
+                equation: "available + rx_buffered + pending_return == advertised",
+                lhs: located,
+                rhs: advertised,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -581,6 +740,63 @@ mod tests {
         assert_eq!(delivered, 8, "pool capacity");
         assert_eq!(refused, 1, "overcommitted overflow NAKed");
         assert_eq!(rx.overflow_drops(), 1);
+    }
+
+    #[test]
+    fn ledger_balances_through_flow_and_drain() {
+        let cfg = CreditConfig {
+            buffer_flits: 8,
+            overcommit: 1.0,
+            return_threshold: 1,
+            retry_depth: 64,
+        };
+        let mut tx = LinkLayer::symmetric(FlitMode::Flit68, cfg);
+        let mut rx = LinkLayer::symmetric(FlitMode::Flit68, cfg);
+        for i in 0..2u64 {
+            let f = tx.send(txn(i)).expect("credit");
+            assert!(matches!(rx.receive(f), RxAction::Deliver(_)));
+        }
+        tx.audit().expect("tx ledger mid-flow");
+        rx.audit().expect("rx ledger mid-flow");
+        assert_eq!(rx.accepted_total(MsgClass::Req), 2);
+        // Drain the receiver and walk every credit back to the sender.
+        for _ in 0..2 {
+            rx.release(MsgClass::Req);
+            let update = rx.take_credit_update().expect("threshold 1");
+            let uf = rx.send(update).expect("control is uncredited");
+            assert!(matches!(tx.receive(uf), RxAction::Control));
+        }
+        assert_eq!(rx.released_total(MsgClass::Req), 2);
+        assert_eq!(rx.returned_total(MsgClass::Req), 2);
+        audit_drained_pair(&tx, &rx).expect("no leaked credits");
+    }
+
+    #[test]
+    fn lost_credit_update_is_reported_as_a_leak_at_drain() {
+        let cfg = CreditConfig {
+            buffer_flits: 8,
+            overcommit: 1.0,
+            return_threshold: 1,
+            retry_depth: 64,
+        };
+        let mut tx = LinkLayer::symmetric(FlitMode::Flit68, cfg);
+        let mut rx = LinkLayer::symmetric(FlitMode::Flit68, cfg);
+        let f = tx.send(txn(0)).expect("credit");
+        assert!(matches!(rx.receive(f), RxAction::Deliver(_)));
+        rx.release(MsgClass::Req);
+        // The credit update falls on the floor instead of reaching tx.
+        let _lost = rx.take_credit_update().expect("threshold 1");
+        // Each endpoint is locally consistent...
+        tx.audit().expect("tx ledger");
+        rx.audit().expect("rx ledger");
+        // ...but the pair has lost a credit, which the drain check catches.
+        let err = audit_drained_pair(&tx, &rx).expect_err("leak");
+        assert_eq!(err.class, MsgClass::Req);
+        assert_eq!(
+            err.equation,
+            "available + rx_buffered + pending_return == advertised"
+        );
+        assert_eq!(err.lhs + 1, err.rhs);
     }
 
     #[test]

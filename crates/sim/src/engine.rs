@@ -76,6 +76,16 @@ impl std::fmt::Debug for Msg {
     }
 }
 
+/// In-flight work a component reports for post-drain deadlock analysis.
+#[derive(Debug, Clone)]
+pub struct PendingWork {
+    /// What the component is waiting for (e.g. `"txn 42 (RdOwn)"`).
+    pub what: String,
+    /// The component being waited on, if known — used to build the
+    /// wait-for graph.
+    pub waiting_on: Option<ComponentId>,
+}
+
 /// A simulated hardware or software entity driven by timestamped messages.
 ///
 /// The `Any` supertrait allows [`Engine::component`] to hand back concrete
@@ -83,6 +93,15 @@ impl std::fmt::Debug for Msg {
 pub trait Component: Any {
     /// Handles one message delivered at the current simulation time.
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg);
+
+    /// Work this component considers unfinished, for
+    /// [`Engine::deadlock_report`]. A component with queued requests,
+    /// unacknowledged transactions, or undelivered grants should report
+    /// them here; the default (no pending work) suits pure sinks and
+    /// stateless components.
+    fn outstanding(&self) -> Vec<PendingWork> {
+        Vec::new()
+    }
 }
 
 enum EventKind {
@@ -257,6 +276,9 @@ impl Engine {
     /// Panics if `id` is foreign, the component is mid-dispatch, or the
     /// concrete type is not `C`.
     pub fn component<C: Component>(&self, id: ComponentId) -> &C {
+        // Documented-panic accessor: the slot is empty only during that
+        // component's own dispatch, which cannot reenter the engine.
+        #[allow(clippy::expect_used)]
         let b = self.components[id.index()]
             .as_ref()
             .expect("component is mid-dispatch");
@@ -278,6 +300,8 @@ impl Engine {
     /// Same conditions as [`Engine::component`].
     pub fn component_mut<C: Component>(&mut self, id: ComponentId) -> &mut C {
         let name: &str = &self.names[id.index()];
+        // Same invariant as `component`: only empty during own dispatch.
+        #[allow(clippy::expect_used)]
         let b = self.components[id.index()]
             .as_mut()
             .expect("component is mid-dispatch");
@@ -328,6 +352,9 @@ impl Engine {
                 if self.trace.is_some() {
                     self.record_trace(event.time, Some(target.index()), msg.type_name());
                 }
+                // The engine is single-threaded and dispatch cannot
+                // reenter, so the slot is always occupied here.
+                #[allow(clippy::expect_used)]
                 let mut component = self.components[target.index()]
                     .take()
                     .expect("component received a message while mid-dispatch");
@@ -372,11 +399,11 @@ impl Engine {
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         loop {
             match self.core.queue.peek() {
-                Some(ev) if ev.time <= deadline => {
-                    let ev = self.core.queue.pop().expect("peeked event vanished");
-                    self.dispatch(ev);
-                }
+                Some(ev) if ev.time <= deadline => {}
                 _ => break,
+            }
+            if let Some(ev) = self.core.queue.pop() {
+                self.dispatch(ev);
             }
         }
         self.core.now
@@ -387,6 +414,140 @@ impl Engine {
         let deadline = self.core.now + duration;
         self.run_until(deadline)
     }
+
+    /// Analyzes the simulation for a deadlock after the event queue has
+    /// drained.
+    ///
+    /// An idle queue with components still reporting
+    /// [`outstanding`](Component::outstanding) work means transactions
+    /// were lost or are mutually blocked: no future event can complete
+    /// them. The report lists every stuck component and, from the
+    /// `waiting_on` edges, any wait-for cycles (the classic
+    /// credit-deadlock signature of §3 D#3).
+    ///
+    /// Returns `None` when events are still pending (the system may yet
+    /// make progress) or when nothing is outstanding (a clean drain).
+    pub fn deadlock_report(&self) -> Option<DeadlockReport> {
+        if !self.core.queue.is_empty() {
+            return None;
+        }
+        let mut stuck = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (idx, slot) in self.components.iter().enumerate() {
+            let Some(component) = slot.as_ref() else {
+                continue;
+            };
+            for work in component.outstanding() {
+                if let Some(target) = work.waiting_on {
+                    edges.push((idx, target.index()));
+                }
+                stuck.push(StuckComponent {
+                    component: self.names[idx].clone(),
+                    what: work.what,
+                    waiting_on: work.waiting_on.map(|t| self.names[t.index()].clone()),
+                });
+            }
+        }
+        if stuck.is_empty() {
+            return None;
+        }
+        Some(DeadlockReport {
+            cycles: find_cycles(self.components.len(), &edges)
+                .into_iter()
+                .map(|cycle| cycle.into_iter().map(|i| self.names[i].clone()).collect())
+                .collect(),
+            stuck,
+        })
+    }
+}
+
+/// One component's stranded work inside a [`DeadlockReport`].
+#[derive(Debug, Clone)]
+pub struct StuckComponent {
+    /// The component's registered name.
+    pub component: String,
+    /// Its description of the stranded work.
+    pub what: String,
+    /// The name of the component it waits on, if reported.
+    pub waiting_on: Option<String>,
+}
+
+/// Stranded in-flight work found after the event queue drained.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// Every component with outstanding work.
+    pub stuck: Vec<StuckComponent>,
+    /// Wait-for cycles among the stuck components (each a list of
+    /// component names; empty when the blockage is acyclic, e.g. a
+    /// single lost message).
+    pub cycles: Vec<Vec<String>>,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "deadlock: queue drained with {} component(s) stuck",
+            self.stuck.len()
+        )?;
+        for s in &self.stuck {
+            match &s.waiting_on {
+                Some(t) => writeln!(f, "  {}: {} (waiting on {t})", s.component, s.what)?,
+                None => writeln!(f, "  {}: {}", s.component, s.what)?,
+            }
+        }
+        for cycle in &self.cycles {
+            writeln!(f, "  wait-for cycle: {}", cycle.join(" -> "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Finds elementary cycles in the wait-for graph by walking each node's
+/// out-edges depth-first (the graphs here are tiny: one node per stuck
+/// component).
+fn find_cycles(nodes: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); nodes];
+    for &(a, b) in edges {
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+        }
+    }
+    let mut cycles: Vec<Vec<usize>> = Vec::new();
+    let mut in_cycle = vec![false; nodes];
+    for start in 0..nodes {
+        if in_cycle[start] {
+            continue;
+        }
+        // Iterative DFS tracking the current path.
+        let mut path = vec![start];
+        let mut iters = vec![0usize];
+        while let Some(&node) = path.last() {
+            let it = match iters.last_mut() {
+                Some(it) => it,
+                None => break,
+            };
+            if let Some(&next) = adj[node].get(*it) {
+                *it += 1;
+                if let Some(pos) = path.iter().position(|&n| n == next) {
+                    let cycle: Vec<usize> = path[pos..].to_vec();
+                    if cycle.iter().any(|&n| !in_cycle[n]) {
+                        for &n in &cycle {
+                            in_cycle[n] = true;
+                        }
+                        cycles.push(cycle);
+                    }
+                } else {
+                    path.push(next);
+                    iters.push(0);
+                }
+            } else {
+                path.pop();
+                iters.pop();
+            }
+        }
+    }
+    cycles
 }
 
 /// Per-dispatch context handed to [`Component::on_msg`].
@@ -557,6 +718,111 @@ mod tests {
         }
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    /// A component that claims to be waiting on another forever (models a
+    /// lost message or credit starvation).
+    struct Waiter {
+        on: Option<ComponentId>,
+        what: &'static str,
+    }
+
+    impl Component for Waiter {
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {}
+
+        fn outstanding(&self) -> Vec<PendingWork> {
+            vec![PendingWork {
+                what: self.what.to_string(),
+                waiting_on: self.on,
+            }]
+        }
+    }
+
+    #[test]
+    fn clean_drain_reports_no_deadlock() {
+        let mut engine = Engine::new(0);
+        let rec = engine.add_component("rec", Recorder { log: vec![] });
+        engine.post(rec, SimTime::from_ns(1.0), 1u32);
+        engine.run_until_idle();
+        assert!(engine.deadlock_report().is_none());
+    }
+
+    #[test]
+    fn no_report_while_events_are_pending() {
+        let mut engine = Engine::new(0);
+        let w = engine.add_component(
+            "w",
+            Waiter {
+                on: None,
+                what: "x",
+            },
+        );
+        engine.post(w, SimTime::from_ns(10.0), Ball);
+        // Queue non-empty: the system may still make progress.
+        assert!(engine.deadlock_report().is_none());
+    }
+
+    #[test]
+    fn wait_for_cycle_is_detected_and_named() {
+        let mut engine = Engine::new(0);
+        let a = engine.add_component(
+            "alpha",
+            Waiter {
+                on: None,
+                what: "req 1",
+            },
+        );
+        let b = engine.add_component(
+            "beta",
+            Waiter {
+                on: None,
+                what: "req 2",
+            },
+        );
+        engine.component_mut::<Waiter>(a).on = Some(b);
+        engine.component_mut::<Waiter>(b).on = Some(a);
+        let report = engine.deadlock_report().expect("both components stuck");
+        assert_eq!(report.stuck.len(), 2);
+        assert_eq!(report.cycles.len(), 1);
+        let cycle = &report.cycles[0];
+        assert!(cycle.contains(&"alpha".to_string()));
+        assert!(cycle.contains(&"beta".to_string()));
+        let rendered = report.to_string();
+        assert!(rendered.contains("wait-for cycle"));
+        assert!(rendered.contains("req 1"));
+    }
+
+    #[test]
+    fn acyclic_blockage_lists_stuck_without_cycles() {
+        let mut engine = Engine::new(0);
+        let sink = engine.add_component("sink", Recorder { log: vec![] });
+        let w = engine.add_component(
+            "w",
+            Waiter {
+                on: None,
+                what: "lost msg",
+            },
+        );
+        engine.component_mut::<Waiter>(w).on = Some(sink);
+        let report = engine.deadlock_report().expect("one component stuck");
+        assert_eq!(report.stuck.len(), 1);
+        assert_eq!(report.stuck[0].waiting_on.as_deref(), Some("sink"));
+        assert!(report.cycles.is_empty());
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle_of_one() {
+        let mut engine = Engine::new(0);
+        let w = engine.add_component(
+            "w",
+            Waiter {
+                on: None,
+                what: "stuck",
+            },
+        );
+        engine.component_mut::<Waiter>(w).on = Some(w);
+        let report = engine.deadlock_report().expect("stuck on itself");
+        assert_eq!(report.cycles, vec![vec!["w".to_string()]]);
     }
 
     #[test]

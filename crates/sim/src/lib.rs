@@ -35,7 +35,10 @@ pub mod queueing;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Component, ComponentId, Ctx, Engine, Msg, TraceEntry};
+pub use engine::{
+    Component, ComponentId, Ctx, DeadlockReport, Engine, Msg, PendingWork, StuckComponent,
+    TraceEntry,
+};
 pub use queueing::TokenBucket;
 pub use stats::{jain_fairness, Counter, Gauge, Histogram, Summary, SummaryNs};
 pub use time::serialization_time;

@@ -1,0 +1,19 @@
+//! Verification harnesses for the FCC protocol stack.
+//!
+//! This crate contains tooling that checks the simulator's protocol
+//! engines rather than simulating with them:
+//!
+//! - [`coherence`] — an explicit-state model checker that drives the
+//!   *real* host-side MESI transition rules ([`fcc_cache::protocol`])
+//!   and the *real* full-map directory ([`fcc_memnode::directory`])
+//!   through every interleaving of loads, stores, evictions and snoop
+//!   deliveries that small configurations admit, asserting coherence
+//!   safety and deadlock freedom on every reachable state.
+//!
+//! The `check-coherence` binary runs the standard configurations and
+//! exits non-zero (printing a full message trace) on any violation;
+//! `scripts/check.sh` wires it into the repo's verification gate.
+
+#![warn(missing_docs)]
+
+pub mod coherence;

@@ -21,6 +21,8 @@ struct Waiter;
 
 impl Component for Waiter {
     fn on_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+        // This waiter is only ever wired to receive FutureResolved.
+        #[allow(clippy::expect_used)]
         let f = msg.downcast::<FutureResolved>().expect("future");
         println!(
             "  distributed future {} resolved: {}",
@@ -40,6 +42,8 @@ fn main() {
         topo.devices.len()
     );
     // Fabric manager: discovery + routing-table fill.
+    // `figure1` always installs a fabric manager.
+    #[allow(clippy::expect_used)]
     let manager = topo.manager.expect("figure1 builds a manager");
     engine.post(manager, SimTime::ZERO, StartDiscovery);
     engine.run_until_idle();

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Workspace quality gate: formatting, lints, tests, and the coherence
+# model check. CI runs exactly this script; run it locally before
+# pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings, unwrap/expect banned in library code)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> coherence model check (exhaustive, small configs)"
+cargo run --release -p fcc-verify --bin check-coherence
+
+echo "all checks passed"

@@ -22,6 +22,8 @@ struct Sink {
 
 impl Component for Sink {
     fn on_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+        // The sink is only wired to receive completions.
+        #[allow(clippy::expect_used)]
         self.done
             .push(msg.downcast::<HostCompletion>().expect("hc"));
     }

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! protocol types for forward compatibility, but no serializer crate
+//! (serde_json etc.) is present, so nothing ever calls the traits. This
+//! stub keeps the annotations compiling offline: the traits are empty
+//! markers blanket-implemented for every type, and the derive macros are
+//! no-ops re-exported from `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented, carries no methods.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented, carries no methods.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

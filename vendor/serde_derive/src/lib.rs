@@ -1,0 +1,19 @@
+//! No-op derive macros for the vendored `serde` stub.
+//!
+//! The stub's traits are blanket-implemented for all types, so the
+//! derives have nothing to emit; they exist only so that
+//! `#[derive(Serialize, Deserialize)]` attributes resolve.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing: `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing: `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
