@@ -1,0 +1,87 @@
+//! Shared telemetry capture for the experiment harness.
+//!
+//! A [`Capture`] bundles the two observability streams an experiment can
+//! feed: the causal trace ([`TraceSink`]) and the labeled metrics
+//! registry ([`MetricsRegistry`]). Experiments take `&mut Capture` and
+//! work identically whether it is disabled (the default, near-zero cost)
+//! or recording (the `--trace` / `--metrics` flags of the `experiments`
+//! binary).
+
+use fcc_fabric::topology::Topology;
+use fcc_sim::Engine;
+use fcc_telemetry::{record_deadlock, MetricsRegistry, TraceSink};
+
+/// The harness's telemetry state: one trace sink and one metrics
+/// registry shared across every scenario of a run.
+pub struct Capture {
+    /// The causal trace stream.
+    pub sink: TraceSink,
+    /// The labeled metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl Capture {
+    /// A disabled capture: every emit is a cheap no-op.
+    pub fn disabled() -> Self {
+        Capture {
+            sink: TraceSink::disabled(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A recording capture.
+    pub fn recording() -> Self {
+        Capture {
+            sink: TraceSink::recording(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Whether tracing is live.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// Opens a scenario: a new trace process group named `label`, with
+    /// every component track of `topo` wired into the sink.
+    pub fn begin_scenario(&self, label: &str, engine: &mut Engine, topo: &Topology) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.sink.begin_process(label);
+        topo.enable_tracing(engine, &self.sink);
+    }
+
+    /// Closes a scenario: harvests `topo`'s counters under
+    /// `"<label>."`-prefixed metric names and — if the drained engine
+    /// reports stranded work — lands the deadlock report in both the
+    /// trace and the metrics streams (§3 D#3's failure mode must be
+    /// visible in the export, not just on stderr).
+    pub fn end_scenario(&mut self, label: &str, engine: &Engine, topo: &Topology) {
+        if !self.is_enabled() {
+            return;
+        }
+        topo.collect_metrics(engine, &mut self.metrics, &format!("{label}."));
+        if let Some(report) = engine.deadlock_report() {
+            record_deadlock(&self.sink, &mut self.metrics, &report, engine.now());
+        }
+    }
+}
+
+impl Default for Capture {
+    fn default() -> Self {
+        Capture::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_capture_is_inert() {
+        let cap = Capture::disabled();
+        assert!(!cap.is_enabled());
+        assert!(cap.metrics.is_empty());
+    }
+}

@@ -27,6 +27,7 @@ use fcc_fabric::topology::{self, StageSpec, Topology, TopologySpec, FAM_BASE};
 use fcc_proto::phys::PhysConfig;
 use fcc_sim::{Engine, SimTime, SummaryNs};
 
+use crate::capture::Capture;
 use crate::loadgen::{AddrPattern, LoadCfg, LoadGen, StartLoad};
 
 /// FabreX-like link: short cable, fast SerDes.
@@ -45,7 +46,7 @@ fn fabrex_device() -> Box<dyn Endpoint> {
             SimTime::from_ns(40.0),
             1 << 30,
         )
-        .with_gap_per_byte(0.04),
+        .with_gap_per_byte(0.06),
     )
 }
 
@@ -115,11 +116,18 @@ fn e3a_device() -> Box<dyn Endpoint> {
 
 /// Runs E3a.
 pub fn run_a(quick: bool) -> E3aResult {
+    run_a_captured(quick, &mut Capture::disabled())
+}
+
+/// Runs E3a, feeding telemetry into `cap`. Scenario (process) labels:
+/// `e3a-inhost`, `e3a-w{N}`.
+pub fn run_a_captured(quick: bool, cap: &mut Capture) -> E3aResult {
     let count = if quick { 300 } else { 2000 };
     // In-host: direct attach, single writer.
     let inhost_ns = {
         let mut engine = Engine::new(0xE3A);
         let topo = topology::direct(&mut engine, default_spec(), e3a_device());
+        cap.begin_scenario("e3a-inhost", &mut engine, &topo);
         let lg = attach_load(
             &mut engine,
             &topo,
@@ -138,6 +146,7 @@ pub fn run_a(quick: bool) -> E3aResult {
             SimTime::ZERO,
         );
         engine.run_until_idle();
+        cap.end_scenario("e3a-inhost", &engine, &topo);
         engine.component::<LoadGen>(lg).latency.summary_ns().mean
     };
     // Disaggregated: one switch, N concurrent writers to the same chassis.
@@ -146,6 +155,8 @@ pub fn run_a(quick: bool) -> E3aResult {
         let mut engine = Engine::new(0xE3A + writers as u64);
         let topo =
             topology::single_switch(&mut engine, default_spec(), writers, vec![e3a_device()]);
+        let label = format!("e3a-w{writers}");
+        cap.begin_scenario(&label, &mut engine, &topo);
         let lgs: Vec<_> = (0..writers)
             .map(|h| {
                 attach_load(
@@ -168,6 +179,7 @@ pub fn run_a(quick: bool) -> E3aResult {
             })
             .collect();
         engine.run_until_idle();
+        cap.end_scenario(&label, &engine, &topo);
         let mean = lgs
             .iter()
             .map(|&lg| engine.component::<LoadGen>(lg).latency.summary_ns().mean)
@@ -232,10 +244,19 @@ impl E3bResult {
 
 /// Runs E3b.
 pub fn run_b(quick: bool) -> E3bResult {
+    run_b_captured(quick, &mut Capture::disabled())
+}
+
+/// Runs E3b, feeding telemetry into `cap`. Scenario labels: `e3b-alone`,
+/// `e3b-bulk` — comparing the two process groups' `credit` spans shows
+/// the 16 KiB writers camping on link credits.
+pub fn run_b_captured(quick: bool, cap: &mut Capture) -> E3bResult {
     let count = if quick { 400 } else { 3000 };
-    let run = |with_bulk: bool| -> SummaryNs {
+    let mut run = |with_bulk: bool| -> SummaryNs {
         let mut engine = Engine::new(0xE3B + with_bulk as u64);
-        let topo = topology::single_switch(&mut engine, default_spec(), 3, vec![fabrex_device()]);
+        let topo = topology::single_switch(&mut engine, default_spec(), 5, vec![fabrex_device()]);
+        let label = if with_bulk { "e3b-bulk" } else { "e3b-alone" };
+        cap.begin_scenario(label, &mut engine, &topo);
         let small = attach_load(
             &mut engine,
             &topo,
@@ -254,7 +275,7 @@ pub fn run_b(quick: bool) -> E3bResult {
             SimTime::ZERO,
         );
         if with_bulk {
-            for h in 1..3 {
+            for h in 1..5 {
                 attach_load(
                     &mut engine,
                     &topo,
@@ -275,6 +296,7 @@ pub fn run_b(quick: bool) -> E3bResult {
             }
         }
         engine.run_until_idle();
+        cap.end_scenario(label, &engine, &topo);
         engine.component::<LoadGen>(small).latency.summary_ns()
     };
     E3bResult {
@@ -335,7 +357,13 @@ pub struct E3cResult {
     pub outcomes: Vec<AllocOutcome>,
 }
 
-fn run_alloc_policy(policy: AllocPolicy, label: &'static str, quick: bool) -> AllocOutcome {
+fn run_alloc_policy(
+    policy: AllocPolicy,
+    label: &'static str,
+    scenario: &str,
+    quick: bool,
+    cap: &mut Capture,
+) -> AllocOutcome {
     let horizon = if quick {
         SimTime::from_us(150.0)
     } else {
@@ -348,6 +376,7 @@ fn run_alloc_policy(policy: AllocPolicy, label: &'static str, quick: bool) -> Al
         3,
         vec![fabrex_device()],
     );
+    cap.begin_scenario(scenario, &mut engine, &topo);
     // Hog: saturates from t=0 so ramp-up grants it a huge allocation.
     let hog = attach_load(
         &mut engine,
@@ -390,6 +419,7 @@ fn run_alloc_policy(policy: AllocPolicy, label: &'static str, quick: bool) -> Al
         })
         .collect();
     engine.run_until_idle();
+    cap.end_scenario(scenario, &engine, &topo);
     let hog_g = engine.component::<LoadGen>(hog);
     let hog_tput = hog_g.completed() as f64 / horizon.as_us();
     let burst_window = (horizon - burst_start).as_us();
@@ -412,10 +442,23 @@ fn run_alloc_policy(policy: AllocPolicy, label: &'static str, quick: bool) -> Al
 
 /// Runs E3c.
 pub fn run_c(quick: bool) -> E3cResult {
+    run_c_captured(quick, &mut Capture::disabled())
+}
+
+/// Runs E3c, feeding telemetry into `cap`. Scenario labels: `e3c-fair`,
+/// `e3c-rampup` — the ramp-up process shows `arb` (`switch.arb_wait`)
+/// spans piling up on the bursty hosts' ports.
+pub fn run_c_captured(quick: bool, cap: &mut Capture) -> E3cResult {
     E3cResult {
         outcomes: vec![
-            run_alloc_policy(AllocPolicy::Fair, "static-fair", quick),
-            run_alloc_policy(AllocPolicy::default_ramp_up(), "exp ramp-up", quick),
+            run_alloc_policy(AllocPolicy::Fair, "static-fair", "e3c-fair", quick, cap),
+            run_alloc_policy(
+                AllocPolicy::default_ramp_up(),
+                "exp ramp-up",
+                "e3c-rampup",
+                quick,
+                cap,
+            ),
         ],
     }
 }
@@ -489,12 +532,18 @@ impl E3dResult {
 /// switch input port; the head flit to the credit-starved slow output
 /// blocks flits to the idle fast output iff the queueing is FIFO.
 pub fn run_d(quick: bool) -> E3dResult {
+    run_d_captured(quick, &mut Capture::disabled())
+}
+
+/// Runs E3d, feeding telemetry into `cap`. Scenario labels: `e3d-fifo`,
+/// `e3d-voq`.
+pub fn run_d_captured(quick: bool, cap: &mut Capture) -> E3dResult {
     let horizon = if quick {
         SimTime::from_us(200.0)
     } else {
         SimTime::from_us(800.0)
     };
-    let run = |queueing: QueueDiscipline| -> (f64, f64) {
+    let mut run = |queueing: QueueDiscipline| -> (f64, f64) {
         let mut engine = Engine::new(0xE3D);
         let slow: Box<dyn Endpoint> = Box::new(PipelinedMemory::new(
             SimTime::from_ns(4000.0),
@@ -506,6 +555,11 @@ pub fn run_d(quick: bool) -> E3dResult {
         let mut spec = fabrex_spec(queueing, AllocPolicy::Fair);
         spec.fha_outstanding = 64;
         let engine_topo = topology::single_switch(&mut engine, spec, 1, vec![slow, fast]);
+        let label = match queueing {
+            QueueDiscipline::Fifo => "e3d-fifo",
+            QueueDiscipline::Voq => "e3d-voq",
+        };
+        cap.begin_scenario(label, &mut engine, &engine_topo);
         // Shrink the slow FEA's admission queue so backpressure forms fast.
         let slow_fea = engine_topo.devices[0].fea;
         engine
@@ -550,6 +604,7 @@ pub fn run_d(quick: bool) -> E3dResult {
             SimTime::ZERO,
         );
         engine.run_until_idle();
+        cap.end_scenario(label, &engine, &engine_topo);
         let fast_tput = engine.component::<LoadGen>(to_fast).completed() as f64 / horizon.as_us();
         let slow_tput = engine.component::<LoadGen>(to_slow).completed() as f64 / horizon.as_us();
         (fast_tput, slow_tput)
@@ -616,12 +671,19 @@ impl E3eResult {
 /// because the shared inter-switch link's ingress credits are camped by
 /// the hog's backlog.
 pub fn run_e(quick: bool) -> E3eResult {
+    run_e_captured(quick, &mut Capture::disabled())
+}
+
+/// Runs E3e, feeding telemetry into `cap`. Scenario labels: `e3e-hog`,
+/// `e3e-alone` — the hog process's `credit` spans on the inter-switch
+/// ports show starvation back-propagating to the victim.
+pub fn run_e_captured(quick: bool, cap: &mut Capture) -> E3eResult {
     let horizon = if quick {
         SimTime::from_us(200.0)
     } else {
         SimTime::from_us(800.0)
     };
-    let run = |with_hog: bool| -> (f64, f64) {
+    let mut run = |with_hog: bool| -> (f64, f64) {
         let mut engine = Engine::new(0xE3E);
         let slow: Box<dyn Endpoint> = Box::new(PipelinedMemory::new(
             SimTime::from_ns(5000.0),
@@ -649,6 +711,8 @@ pub fn run_e(quick: bool) -> E3eResult {
                 },
             ],
         );
+        let label = if with_hog { "e3e-hog" } else { "e3e-alone" };
+        cap.begin_scenario(label, &mut engine, &topo);
         // Shrink the slow device's admission queue so its backlog camps
         // in the switches, not the device.
         engine
@@ -695,12 +759,14 @@ pub fn run_e(quick: bool) -> E3eResult {
                 SimTime::ZERO,
             );
             engine.run_until_idle();
+            cap.end_scenario(label, &engine, &topo);
             hog_tput = engine.component::<LoadGen>(hog).completed() as f64 / horizon.as_us();
             let victim_tput =
                 engine.component::<LoadGen>(victim).completed() as f64 / horizon.as_us();
             return (victim_tput, hog_tput);
         }
         engine.run_until_idle();
+        cap.end_scenario(label, &engine, &topo);
         let victim_tput = engine.component::<LoadGen>(victim).completed() as f64 / horizon.as_us();
         (victim_tput, hog_tput)
     };

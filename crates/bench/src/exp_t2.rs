@@ -15,6 +15,7 @@ use fcc_fabric::topology::{self, FAM_BASE};
 use fcc_sim::{Component, Ctx, Engine, Msg, SimTime};
 
 use crate::calib;
+use crate::capture::Capture;
 
 /// One row of Table 2.
 #[derive(Debug, Clone)]
@@ -53,9 +54,23 @@ impl Component for Sink {
 /// Runs one measurement: a fresh engine + topology per run so tiers don't
 /// share cache state.
 fn measure(remote: bool, pattern: AccessPattern, window: usize) -> CoreReport {
+    measure_captured(remote, pattern, window, &mut Capture::disabled(), "")
+}
+
+/// [`measure`] with telemetry: remote runs open a `label` scenario so
+/// the full FHA → switch → FEA → DRAM hop chain (plus the core's
+/// `cache.remote_miss` envelope) lands in the trace.
+fn measure_captured(
+    remote: bool,
+    pattern: AccessPattern,
+    window: usize,
+    cap: &mut Capture,
+    label: &str,
+) -> CoreReport {
     let mut engine = Engine::new(0x72 + remote as u64);
     let sink = engine.add_component("sink", Sink { report: None });
     let mut core = CpuCore::new(MemoryHierarchy::new(HierarchyConfig::omega_like()), window);
+    let mut remote_topo = None;
     if remote {
         let topo = topology::single_switch(
             &mut engine,
@@ -64,6 +79,9 @@ fn measure(remote: bool, pattern: AccessPattern, window: usize) -> CoreReport {
             vec![calib::fam(1 << 30)],
         );
         core.set_fha(topo.hosts[0].fha);
+        cap.begin_scenario(label, &mut engine, &topo);
+        core.set_trace(cap.sink.track("core"));
+        remote_topo = Some(topo);
     }
     let core = engine.add_component("core", core);
     engine.post(
@@ -75,6 +93,9 @@ fn measure(remote: bool, pattern: AccessPattern, window: usize) -> CoreReport {
         },
     );
     engine.run_until_idle();
+    if let Some(topo) = &remote_topo {
+        cap.end_scenario(label, &engine, topo);
+    }
     engine
         .component::<Sink>(sink)
         .report
@@ -120,6 +141,13 @@ fn independent(
 
 /// Runs T2. `quick` shortens op counts (CI use).
 pub fn run(quick: bool) -> T2Result {
+    run_captured(quick, &mut Capture::disabled())
+}
+
+/// Runs T2, feeding telemetry into `cap`. The four remote-tier
+/// measurements become scenarios `t2-remote-{rd,wr}-{lat,tput}`; the
+/// on-chip tiers never touch the fabric and stay untraced.
+pub fn run_captured(quick: bool, cap: &mut Capture) -> T2Result {
     let n: u64 = if quick { 2_000 } else { 10_000 };
     let tp: u64 = if quick { 5_000 } else { 30_000 };
     let mut tiers = Vec::new();
@@ -171,25 +199,33 @@ pub fn run(quick: bool) -> T2Result {
     // Remote memory: through the simulated fabric, MLP-limited window.
     let rn = if quick { 300 } else { 2_000 };
     let remote = (
-        measure(
+        measure_captured(
             true,
             dependent(FAM_BASE, 16 << 20, 4096, rn, false, 0),
             calib::REMOTE_WINDOW,
+            cap,
+            "t2-remote-rd-lat",
         ),
-        measure(
+        measure_captured(
             true,
             dependent(FAM_BASE, 16 << 20, 4096, rn, true, 0),
             calib::REMOTE_WINDOW,
+            cap,
+            "t2-remote-wr-lat",
         ),
-        measure(
+        measure_captured(
             true,
             independent(FAM_BASE, 16 << 20, 4096, rn * 2, false, 0),
             calib::REMOTE_WINDOW,
+            cap,
+            "t2-remote-rd-tput",
         ),
-        measure(
+        measure_captured(
             true,
             independent(FAM_BASE, 16 << 20, 4096, rn * 2, true, 0),
             calib::REMOTE_WINDOW,
+            cap,
+            "t2-remote-wr-tput",
         ),
     );
     tiers.push(Tier {

@@ -13,6 +13,7 @@
 //! paper-vs-measured numbers.
 
 pub mod calib;
+pub mod capture;
 pub mod exp_abl;
 pub mod exp_e10;
 pub mod exp_e3;

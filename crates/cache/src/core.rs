@@ -165,6 +165,7 @@ pub struct CpuCore {
     window: usize,
     prefetcher: Option<StridePrefetcher>,
     run: Option<RunState>,
+    trace: fcc_telemetry::Track,
 }
 
 impl CpuCore {
@@ -181,12 +182,19 @@ impl CpuCore {
             window,
             prefetcher: None,
             run: None,
+            trace: fcc_telemetry::Track::default(),
         }
     }
 
     /// Binds the core to a host adapter for remote misses.
     pub fn set_fha(&mut self, fha: ComponentId) {
         self.fha = Some(fha);
+    }
+
+    /// Attaches a telemetry track; the core then emits a span covering
+    /// each remote miss from FHA issue to completion delivery.
+    pub fn set_trace(&mut self, track: fcc_telemetry::Track) {
+        self.trace = track;
     }
 
     /// Enables a stride prefetcher.
@@ -401,6 +409,13 @@ impl Component for CpuCore {
         };
         match msg.downcast::<HostCompletion>() {
             Ok(hc) => {
+                self.trace.span_nonzero(
+                    "cache",
+                    "cache.remote_miss",
+                    hc.issued_at,
+                    hc.completed_at,
+                    fcc_telemetry::TraceCtx::NONE,
+                );
                 self.hierarchy.fill(0);
                 self.complete(ctx, hc.tag);
             }

@@ -21,6 +21,13 @@ use std::collections::{HashMap, VecDeque};
 
 use fcc_fabric::adapter::{HostCompletion, HostOp, HostRequest};
 use fcc_sim::{Component, ComponentId, Counter, Ctx, Histogram, Msg, SimTime, TokenBucket};
+use fcc_telemetry::{TraceCtx, Track};
+
+/// Trace ids for eTrans jobs live in a reserved node-id namespace
+/// (`0xFFFF`) so they never collide with FHA-allocated transaction ids.
+fn job_trace_ctx(job_id: u64) -> TraceCtx {
+    TraceCtx::new((0xFFFF_u64 << 48) | job_id)
+}
 
 /// Completion routing for an [`ETrans`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +146,7 @@ pub struct TransactionEngine {
     inflight: HashMap<u64, (Job, usize)>,
     delayed: VecDeque<Job>,
     next_job: u64,
+    trace: Track,
     /// Completed transfers.
     pub completed: Counter,
     /// Bytes moved.
@@ -169,11 +177,18 @@ impl TransactionEngine {
             inflight: HashMap::new(),
             delayed: VecDeque::new(),
             next_job: 0,
+            trace: Track::default(),
             completed: Counter::new(),
             bytes_moved: Counter::new(),
             latency: Histogram::new(),
             rejected: Counter::new(),
         }
+    }
+
+    /// Attaches a telemetry track; the engine then emits throttle-wait and
+    /// whole-job spans for every transfer it orchestrates.
+    pub fn set_trace(&mut self, track: Track) {
+        self.trace = track;
     }
 
     /// Installs (or replaces) a tenant bandwidth limit.
@@ -196,6 +211,15 @@ impl TransactionEngine {
             .expect("agents non-empty");
         self.agent_load[idx] += job.etrans.bytes();
         let agent = self.agents[idx];
+        // Time between submission and dispatch is tenant throttling (or
+        // Retry batching); zero for the immediate path.
+        self.trace.span_nonzero(
+            "arb",
+            "etrans.throttle_wait",
+            job.issued_at,
+            ctx.now(),
+            job_trace_ctx(job.job_id),
+        );
         self.inflight.insert(job.job_id, (job.clone(), idx));
         ctx.send(
             agent,
@@ -280,6 +304,13 @@ impl Component for TransactionEngine {
                 self.completed.inc();
                 self.bytes_moved.add(job.etrans.bytes());
                 self.latency.record_time(ctx.now() - job.issued_at);
+                self.trace.span(
+                    "etrans",
+                    "etrans.job",
+                    job.issued_at,
+                    ctx.now(),
+                    job_trace_ctx(job.job_id),
+                );
                 match job.etrans.ownership {
                     TransOwnership::Caller => {
                         ctx.send(

@@ -230,6 +230,7 @@ pub struct RunStats {
 pub struct DagRuntime {
     executors: Vec<Executor>,
     mode: RecoveryMode,
+    trace: fcc_telemetry::Track,
 }
 
 impl DagRuntime {
@@ -240,7 +241,17 @@ impl DagRuntime {
     /// Panics if `executors` is empty.
     pub fn new(executors: Vec<Executor>, mode: RecoveryMode) -> Self {
         assert!(!executors.is_empty(), "no executors");
-        DagRuntime { executors, mode }
+        DagRuntime {
+            executors,
+            mode,
+            trace: fcc_telemetry::Track::default(),
+        }
+    }
+
+    /// Attaches a telemetry track; `run` then emits one span per task
+    /// execution, labeled by half (`task.top` / `task.bottom`).
+    pub fn set_trace(&mut self, track: fcc_telemetry::Track) {
+        self.trace = track;
     }
 
     /// Runs `tasks` to completion under `failures`, returning statistics.
@@ -298,6 +309,12 @@ impl DagRuntime {
                     .unwrap_or_else(|| panic!("no executor for half {:?}", t.half));
                 let start = exec_free[exec_idx].max(ready_at);
                 let end = self.simulate_task(t, exec_idx, start, failures, &mut stats);
+                let name = match t.half {
+                    Half::Top => "task.top",
+                    Half::Bottom => "task.bottom",
+                };
+                self.trace
+                    .span("task", name, start, end, fcc_telemetry::TraceCtx::NONE);
                 exec_free[exec_idx] = end;
                 finished.insert(t.id, end);
                 stats.makespan = stats.makespan.max(end);

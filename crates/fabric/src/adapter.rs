@@ -17,6 +17,7 @@ use fcc_proto::flit::{flits_for_transfer, FlitPayload};
 use fcc_proto::link::CreditConfig;
 use fcc_proto::phys::PhysConfig;
 use fcc_sim::{Component, ComponentId, Counter, Ctx, Histogram, Msg, PendingWork, SimTime};
+use fcc_telemetry::{TraceCtx, Track};
 
 use crate::endpoint::Endpoint;
 use crate::port::{FlitMsg, LinkPort, PortEvent};
@@ -154,9 +155,19 @@ struct PendingReq {
     reply_to: ComponentId,
     issued_at: SimTime,
     is_read: bool,
+    bytes: u32,
     slots_expected: u64,
     slots_got: u64,
     header_got: bool,
+}
+
+/// A human-readable size suffix for RTT span labels (`64B`, `16KiB`).
+fn size_label(bytes: u32) -> String {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
+        format!("{}KiB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
 }
 
 /// The Fabric Host Adapter: converts host requests into fabric flits and
@@ -170,6 +181,7 @@ pub struct Fha {
     outstanding: HashMap<u64, PendingReq>,
     waitq: VecDeque<(HostRequest, SimTime)>,
     snoop_handler: Option<ComponentId>,
+    trace: Track,
     /// Completed operations.
     pub completions: Counter,
     /// End-to-end latency distribution (ps).
@@ -201,6 +213,7 @@ impl Fha {
             outstanding: HashMap::new(),
             waitq: VecDeque::new(),
             snoop_handler: None,
+            trace: Track::default(),
             completions: Counter::new(),
             latency: Histogram::new(),
             snoops: Counter::new(),
@@ -228,6 +241,17 @@ impl Fha {
         &self.port
     }
 
+    /// The link port, mutably (telemetry wiring).
+    pub fn port_mut(&mut self) -> &mut LinkPort {
+        &mut self.port
+    }
+
+    /// Attaches a telemetry track; the adapter then emits window-wait and
+    /// end-to-end RTT spans (`rtt-<op><size>`) keyed by transaction id.
+    pub fn set_trace(&mut self, track: Track) {
+        self.trace = track;
+    }
+
     /// Requests currently in flight.
     pub fn in_flight(&self) -> usize {
         self.outstanding.len()
@@ -250,6 +274,15 @@ impl Fha {
             .decode(req.op.addr())
             .unwrap_or_else(|| panic!("unmapped fabric address {:#x}", req.op.addr()));
         let id = self.alloc_txn_id();
+        // A request popped from the wait queue stalled behind the
+        // outstanding window; attribute that stall to the txn it became.
+        self.trace.span_nonzero(
+            "fha",
+            "fha.window_wait",
+            issued_at,
+            ctx.now(),
+            TraceCtx::new(id),
+        );
         let mode = self.port.phys.flit_mode;
         let (kind, slots_out, slots_expected) = match req.op {
             HostOp::Read { bytes, .. } => (
@@ -292,6 +325,7 @@ impl Fha {
                 reply_to: req.reply_to,
                 issued_at,
                 is_read: req.op.is_read(),
+                bytes: req.op.bytes(),
                 slots_expected,
                 slots_got: 0,
                 header_got: false,
@@ -324,6 +358,22 @@ impl Fha {
             completed_at: ctx.now(),
             was_read: pending.is_read,
         };
+        if self.trace.is_enabled() {
+            // Label by direction and size so trace-report can separate the
+            // small-op and bulk flows sharing one fabric.
+            let name = format!(
+                "rtt-{}{}",
+                if pending.is_read { "rd" } else { "wr" },
+                size_label(pending.bytes)
+            );
+            self.trace.span(
+                "fha",
+                &name,
+                pending.issued_at,
+                ctx.now(),
+                TraceCtx::new(id),
+            );
+        }
         self.completions.inc();
         self.latency.record_time(completion.latency());
         ctx.send(pending.reply_to, SimTime::ZERO, completion);
@@ -478,7 +528,8 @@ pub struct Fea {
     reassembly: HashMap<u64, Reassembly>,
     queue_depth: usize,
     in_service: usize,
-    waiting: VecDeque<Transaction>,
+    waiting: VecDeque<(Transaction, SimTime)>,
+    trace: Track,
     /// Transactions serviced by the device.
     pub serviced: Counter,
 }
@@ -525,6 +576,7 @@ impl Fea {
             queue_depth,
             in_service: 0,
             waiting: VecDeque::new(),
+            trace: Track::default(),
             serviced: Counter::new(),
         }
     }
@@ -544,9 +596,25 @@ impl Fea {
         &self.port
     }
 
+    /// The link port, mutably (telemetry wiring).
+    pub fn port_mut(&mut self) -> &mut LinkPort {
+        &mut self.port
+    }
+
+    /// Attaches a telemetry track; the adapter then emits admission-wait
+    /// and device-service spans keyed by transaction id.
+    pub fn set_trace(&mut self, track: Track) {
+        self.trace = track;
+    }
+
     /// Immutable access to the device.
     pub fn device(&self) -> &dyn Endpoint {
         self.device.as_ref()
+    }
+
+    /// Mutable access to the device (telemetry wiring, fault injection).
+    pub fn device_mut(&mut self) -> &mut dyn Endpoint {
+        self.device.as_mut()
     }
 
     /// Replaces the device admission-queue depth (experiments shrink it
@@ -569,12 +637,19 @@ impl Fea {
             self.port.release(ctx, txn.kind.msg_class());
             self.service_now(ctx, txn);
         } else {
-            self.waiting.push_back(txn);
+            self.waiting.push_back((txn, ctx.now()));
         }
     }
 
     fn service_now(&mut self, ctx: &mut Ctx<'_>, txn: Transaction) {
         let rsp = self.device.service(&txn, ctx.now());
+        self.trace.span_nonzero(
+            "device",
+            "device.service",
+            ctx.now(),
+            rsp.ready_at,
+            txn.trace_ctx(),
+        );
         self.serviced.inc();
         let delay = rsp.ready_at - ctx.now();
         let (response, slots) = match rsp.kind {
@@ -679,8 +754,17 @@ impl Component for Fea {
                 }
                 // Free the device slot and admit the next waiter.
                 self.in_service = self.in_service.saturating_sub(1);
-                if let Some(next) = self.waiting.pop_front() {
+                if let Some((next, parked_at)) = self.waiting.pop_front() {
                     self.in_service += 1;
+                    // The wait held an ingress credit the whole time — this
+                    // span is the root cause behind upstream credit-waits.
+                    self.trace.span_nonzero(
+                        "fea",
+                        "fea.admission_wait",
+                        parked_at,
+                        ctx.now(),
+                        next.trace_ctx(),
+                    );
                     self.port.release(ctx, next.kind.msg_class());
                     self.service_now(ctx, next);
                 }

@@ -33,6 +33,13 @@ pub trait Endpoint: 'static {
     fn capacity(&self) -> u64 {
         0
     }
+
+    /// Attaches a telemetry track for device-internal spans (bank/row
+    /// activity, media scheduling). Devices without internal structure
+    /// worth tracing keep the default no-op.
+    fn set_trace(&mut self, track: fcc_telemetry::Track) {
+        let _ = track;
+    }
 }
 
 /// A memory device with fixed read/write service times and a single

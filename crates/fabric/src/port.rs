@@ -17,6 +17,7 @@ use fcc_proto::flit::{Flit, FlitPayload};
 use fcc_proto::link::{CreditConfig, LinkLayer, RxAction};
 use fcc_proto::phys::PhysConfig;
 use fcc_sim::{ComponentId, Counter, Ctx, SimTime};
+use fcc_telemetry::Track;
 
 /// A flit crossing a wire between two components.
 #[derive(Debug)]
@@ -46,8 +47,9 @@ pub struct LinkPort {
     pub link: LinkLayer,
     peer: Option<ComponentId>,
     wire_free_at: SimTime,
-    pending: VecDeque<FlitPayload>,
+    pending: VecDeque<(FlitPayload, SimTime)>,
     pending_limit: usize,
+    trace: Track,
     /// Per-flit corruption probability (fault injection).
     pub error_rate: f64,
     /// Flits transmitted (including control and retransmissions).
@@ -66,6 +68,7 @@ impl LinkPort {
             wire_free_at: SimTime::ZERO,
             pending: VecDeque::new(),
             pending_limit: usize::MAX,
+            trace: Track::default(),
             error_rate: 0.0,
             tx_flits: Counter::new(),
             rx_flits: Counter::new(),
@@ -82,6 +85,12 @@ impl LinkPort {
     /// Binds the port to its peer component.
     pub fn connect(&mut self, peer: ComponentId) {
         self.peer = Some(peer);
+    }
+
+    /// Attaches a telemetry track; the port then emits credit-wait,
+    /// serialization, and retransmission spans for the flits it moves.
+    pub fn set_trace(&mut self, track: Track) {
+        self.trace = track;
     }
 
     /// The connected peer.
@@ -122,7 +131,7 @@ impl LinkPort {
         if !self.can_enqueue() {
             return false;
         }
-        self.pending.push_back(payload);
+        self.pending.push_back((payload, ctx.now()));
         self.pump(ctx);
         true
     }
@@ -147,14 +156,21 @@ impl LinkPort {
 
     /// Moves queued payloads onto the wire while credits allow.
     pub fn pump(&mut self, ctx: &mut Ctx<'_>) {
-        while let Some(front) = self.pending.front() {
+        while let Some((front, _)) = self.pending.front() {
             if !self.link.can_send(front.msg_class()) {
                 break;
             }
             // front() was Some and can_send was checked on the same
             // single-threaded link state, so both steps must succeed.
             #[allow(clippy::expect_used)]
-            let payload = self.pending.pop_front().expect("front exists");
+            let (payload, queued_at) = self.pending.pop_front().expect("front exists");
+            self.trace.span_nonzero_merged(
+                "credit",
+                "link.credit_wait",
+                queued_at,
+                ctx.now(),
+                payload.trace_ctx(),
+            );
             #[allow(clippy::expect_used)]
             let flit = self.link.send(payload).expect("can_send checked");
             self.transmit(ctx, flit);
@@ -177,6 +193,14 @@ impl LinkPort {
         self.wire_free_at = depart + serialize;
         let arrive = self.wire_free_at + self.phys.propagation;
         self.tx_flits.inc();
+        // Only transaction-carrying flits get serialize spans: ack and
+        // credit chatter (trace id 0) would bloat the trace and break the
+        // merge chains that collapse a bulk burst into one span.
+        let tctx = flit.payload.trace_ctx();
+        if tctx.is_tracked() {
+            self.trace
+                .span_merged("link", "link.serialize", depart, self.wire_free_at, tctx);
+        }
         ctx.send(self.peer(), arrive - ctx.now(), FlitMsg { flit });
     }
 
@@ -228,6 +252,8 @@ impl LinkPort {
     pub fn retransmit_from(&mut self, ctx: &mut Ctx<'_>, from_seq: u64) {
         let flits = self.link.on_nak(from_seq);
         for f in flits {
+            self.trace
+                .instant("link", "link.retransmit", ctx.now(), f.payload.trace_ctx());
             self.transmit(ctx, f);
         }
     }

@@ -31,6 +31,7 @@ use fcc_proto::flit::FlitPayload;
 use fcc_proto::link::CreditConfig;
 use fcc_proto::phys::PhysConfig;
 use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, PendingWork, SimTime, TokenBucket};
+use fcc_telemetry::Track;
 
 use crate::credit::{AllocPolicy, RampUpState};
 use crate::port::{FlitMsg, LinkPort, PortEvent};
@@ -182,6 +183,7 @@ pub struct FabricSwitch {
     tick_armed: bool,
     /// Earliest pending Kick self-message (dedup: one in flight).
     next_kick_at: Option<SimTime>,
+    trace: Track,
     /// Flits forwarded.
     pub forwarded: Counter,
     /// Flits dropped for lack of a route.
@@ -205,6 +207,7 @@ impl FabricSwitch {
             flows: HashMap::new(),
             tick_armed: false,
             next_kick_at: None,
+            trace: Track::default(),
             forwarded: Counter::new(),
             unroutable: Counter::new(),
             queue_delay_ps: Counter::new(),
@@ -259,6 +262,12 @@ impl FabricSwitch {
     /// Mutable access to a port (fault injection).
     pub fn port_mut(&mut self, idx: usize) -> &mut LinkPort {
         &mut self.ports[idx]
+    }
+
+    /// Attaches a telemetry track; the switch then emits crossbar-forward
+    /// and credit/arbitration wait spans for every dispatched flit.
+    pub fn set_trace(&mut self, track: Track) {
+        self.trace = track;
     }
 
     /// Total flits waiting in ingress queues.
@@ -625,6 +634,25 @@ impl FabricSwitch {
     ) {
         self.record_send(i, out, entry.flow, now);
         self.queue_delay_ps.add((now - entry.enqueued_at).as_ps());
+        if self.trace.is_enabled() {
+            let ctx_id = entry.payload.trace_ctx();
+            // Crossbar transit (fixed fwd latency), then any time the flit
+            // sat *ready* but undispatched: egress credit starvation under
+            // Fair allocation, allocator gating otherwise.
+            self.trace.span_merged(
+                "switch",
+                "switch.forward",
+                entry.enqueued_at,
+                entry.ready_at,
+                ctx_id,
+            );
+            let (cat, name) = match self.cfg.allocation {
+                AllocPolicy::Fair => ("credit", "switch.credit_wait"),
+                AllocPolicy::RampUp { .. } | AllocPolicy::Arbitrated => ("arb", "switch.arb_wait"),
+            };
+            self.trace
+                .span_nonzero_merged(cat, name, entry.ready_at, now, ctx_id);
+        }
         self.forwarded.inc();
         self.ports[out].send_now(ctx, entry.payload);
         self.ports[i].release(ctx, entry.class);

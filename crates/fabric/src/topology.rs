@@ -8,6 +8,7 @@
 use fcc_proto::addr::{AddrMap, AddrRange, NodeId};
 use fcc_proto::link::CreditConfig;
 use fcc_sim::{ComponentId, Engine, SimTime};
+use fcc_telemetry::{MetricsRegistry, TraceSink};
 
 use crate::adapter::{Fea, Fha};
 use crate::endpoint::{Endpoint, FixedLatencyMemory};
@@ -89,6 +90,75 @@ impl Topology {
     /// Panics if the topology has no devices.
     pub fn device(&self) -> DeviceHandle {
         self.devices[0]
+    }
+
+    /// Wires a [`TraceSink`] through every adapter, port, switch, and
+    /// device of this topology. Each component gets its own named track
+    /// in the current process group; with a disabled sink this is a no-op
+    /// and the simulation runs untraced at full speed.
+    pub fn enable_tracing(&self, engine: &mut Engine, sink: &TraceSink) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for h in &self.hosts {
+            let name = format!("fha{}", h.node.0);
+            let adapter_track = sink.track(&name);
+            let port_track = sink.track(&format!("{name}.port"));
+            let fha = engine.component_mut::<Fha>(h.fha);
+            fha.set_trace(adapter_track);
+            fha.port_mut().set_trace(port_track);
+        }
+        for d in &self.devices {
+            let name = format!("fea{}", d.node.0);
+            let adapter_track = sink.track(&name);
+            let port_track = sink.track(&format!("{name}.port"));
+            let dev_track = sink.track(&format!("{name}.dev"));
+            let fea = engine.component_mut::<Fea>(d.fea);
+            fea.set_trace(adapter_track);
+            fea.port_mut().set_trace(port_track);
+            fea.device_mut().set_trace(dev_track);
+        }
+        for (i, &sw) in self.switches.iter().enumerate() {
+            let switch_track = sink.track(&format!("fs{i}"));
+            let s = engine.component_mut::<FabricSwitch>(sw);
+            s.set_trace(switch_track);
+            for p in 0..s.port_count() {
+                let t = sink.track(&format!("fs{i}.p{p}"));
+                engine
+                    .component_mut::<FabricSwitch>(sw)
+                    .port_mut(p)
+                    .set_trace(t);
+            }
+        }
+    }
+
+    /// Snapshots every fabric component's counters and histograms into a
+    /// [`MetricsRegistry`] under hierarchical `<prefix><component>.<stat>`
+    /// names (e.g. `e3b.bulk.fs0.forwarded`).
+    pub fn collect_metrics(&self, engine: &Engine, reg: &mut MetricsRegistry, prefix: &str) {
+        for h in &self.hosts {
+            let name = format!("{prefix}fha{}", h.node.0);
+            let fha = engine.component::<Fha>(h.fha);
+            reg.record_counter(&format!("{name}.completions"), &fha.completions);
+            reg.record_histogram(&format!("{name}.latency_ps"), &fha.latency);
+            reg.record_counter(&format!("{name}.snoops"), &fha.snoops);
+            reg.record_counter(&format!("{name}.tx_flits"), &fha.port().tx_flits);
+            reg.record_counter(&format!("{name}.rx_flits"), &fha.port().rx_flits);
+        }
+        for d in &self.devices {
+            let name = format!("{prefix}fea{}", d.node.0);
+            let fea = engine.component::<Fea>(d.fea);
+            reg.record_counter(&format!("{name}.serviced"), &fea.serviced);
+            reg.record_counter(&format!("{name}.tx_flits"), &fea.port().tx_flits);
+            reg.record_counter(&format!("{name}.rx_flits"), &fea.port().rx_flits);
+        }
+        for (i, &sw) in self.switches.iter().enumerate() {
+            let name = format!("{prefix}fs{i}");
+            let s = engine.component::<FabricSwitch>(sw);
+            reg.record_counter(&format!("{name}.forwarded"), &s.forwarded);
+            reg.record_counter(&format!("{name}.unroutable"), &s.unroutable);
+            reg.record_counter(&format!("{name}.queue_delay_ps"), &s.queue_delay_ps);
+        }
     }
 }
 

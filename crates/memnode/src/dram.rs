@@ -10,6 +10,7 @@
 
 use fcc_proto::channel::{MemOpcode, Transaction, TransactionKind};
 use fcc_sim::SimTime;
+use fcc_telemetry::Track;
 
 use fcc_fabric::endpoint::{Endpoint, EndpointResponse};
 
@@ -57,6 +58,7 @@ pub struct DramDevice {
     capacity: u64,
     banks: Vec<Bank>,
     bus_free_at: SimTime,
+    trace: Track,
     /// Row-buffer hits observed.
     pub row_hits: u64,
     /// Row-buffer misses observed.
@@ -83,6 +85,7 @@ impl DramDevice {
                 timing.banks
             ],
             bus_free_at: SimTime::ZERO,
+            trace: Track::default(),
             row_hits: 0,
             row_misses: 0,
         }
@@ -137,7 +140,17 @@ impl DramDevice {
 impl Endpoint for DramDevice {
     fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse {
         let bytes = txn.bytes.max(64);
+        let hits_before = self.row_hits;
         let ready_at = self.access(txn.addr, bytes, now);
+        if self.trace.is_enabled() {
+            let name = if self.row_hits > hits_before {
+                "dram.row_hit"
+            } else {
+                "dram.row_miss"
+            };
+            self.trace
+                .span("dram", name, now, ready_at, txn.trace_ctx());
+        }
         match txn.kind {
             TransactionKind::Mem(op) if op.carries_data() => EndpointResponse {
                 kind: Some(TransactionKind::Mem(MemOpcode::Cmp)),
@@ -154,6 +167,10 @@ impl Endpoint for DramDevice {
 
     fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    fn set_trace(&mut self, track: Track) {
+        self.trace = track;
     }
 }
 

@@ -282,6 +282,13 @@ pub struct Transaction {
 }
 
 impl Transaction {
+    /// The causal trace context for telemetry spans: the fabric-unique
+    /// transaction id doubles as the trace id, so every hop a transaction
+    /// (or its data slots) takes can be stitched back together.
+    pub fn trace_ctx(&self) -> fcc_telemetry::TraceCtx {
+        fcc_telemetry::TraceCtx::new(self.id)
+    }
+
     /// Builds the matching response for a request, swapping endpoints.
     pub fn response(&self, kind: TransactionKind, bytes: u32) -> Transaction {
         Transaction {

@@ -90,6 +90,24 @@ impl FlitPayload {
     pub fn is_control(&self) -> bool {
         matches!(self.msg_class(), MsgClass::Ctrl)
     }
+
+    /// The causal trace id this payload belongs to: transaction headers
+    /// and data slots carry their fabric-unique transaction id; link
+    /// control carries none. Telemetry keys per-hop spans on this, so a
+    /// flit's journey is reconstructible without widening the wire format.
+    pub fn trace_id(&self) -> u64 {
+        match self {
+            FlitPayload::Transaction(t) => t.id,
+            FlitPayload::Data { txn_id, .. } => *txn_id,
+            _ => 0,
+        }
+    }
+
+    /// The causal trace context for telemetry spans ([`Self::trace_id`]
+    /// wrapped; untracked for link control).
+    pub fn trace_ctx(&self) -> fcc_telemetry::TraceCtx {
+        fcc_telemetry::TraceCtx::new(self.trace_id())
+    }
 }
 
 /// One flit: sequence number, payload, and CRC.

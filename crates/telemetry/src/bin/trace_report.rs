@@ -1,0 +1,116 @@
+//! `trace-report` — analyze an exported fcc trace.
+//!
+//! Usage: `trace-report <trace.json> [--txn 0xID]`
+//!
+//! Prints per-category time totals, credit-wait congestion attribution,
+//! RTT tail statistics per scenario, tail-inflation factors across
+//! scenarios, the slowest transactions with a per-hop breakdown, and any
+//! deadlock events — all recomputed from the trace file alone.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use fcc_telemetry::TraceData;
+
+/// Writes `text` to stdout; a closed pipe (`report | head`) is a clean
+/// exit, not a panic.
+fn emit(text: &str) -> ExitCode {
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cannot write report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut txn: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--txn" => {
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("--txn needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match u64::from_str_radix(raw.trim_start_matches("0x"), 16) {
+                    Ok(id) => txn = Some(id),
+                    Err(e) => {
+                        eprintln!("bad --txn value '{raw}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: trace-report <trace.json> [--txn 0xID]");
+                return ExitCode::SUCCESS;
+            }
+            p if path.is_none() => {
+                path = Some(p);
+                i += 1;
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace-report <trace.json> [--txn 0xID]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let data = match TraceData::from_json(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(id) = txn {
+        // FHA txn ids restart per scenario, so scope each breakdown to
+        // one process rather than interleaving unrelated accesses.
+        let pids = data.processes_of(id);
+        if pids.is_empty() {
+            eprintln!("no spans for txn {id:#x}");
+            return ExitCode::FAILURE;
+        }
+        let mut text = String::new();
+        for pid in pids {
+            text.push_str(&format!(
+                "-- per-hop breakdown of txn {id:#x} in {} --\n",
+                data.process_name(pid)
+            ));
+            text.push_str(&format!(
+                "{:>12} {:>10} {:<24} {:<10} {}\n",
+                "ts (ns)", "dur (ns)", "component", "category", "span"
+            ));
+            for hop in data.hop_breakdown(id, Some(pid)) {
+                text.push_str(&format!(
+                    "{:>12.1} {:>10.1} {:<24} {:<10} {}\n",
+                    hop.ts_ps as f64 / 1e3,
+                    hop.dur_ps as f64 / 1e3,
+                    data.track_name(hop.pid, hop.tid),
+                    hop.cat,
+                    hop.name
+                ));
+            }
+            text.push('\n');
+        }
+        emit(&text)
+    } else {
+        emit(&data.render_report())
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Observability for the FCC simulation stack: causal tracing, a labeled
+//! metrics registry, and Chrome trace-event (Perfetto-loadable) export.
+//!
+//! The paper's §3 arguments are claims about *where time goes inside the
+//! fabric* — serialization vs. credit-wait vs. switch arbitration vs.
+//! device service. This crate provides the three pieces needed to attribute
+//! latency per hop rather than only at the endpoints:
+//!
+//! * [`trace`] — a [`TraceSink`](trace::TraceSink) collecting span records
+//!   (begin/end in simulated picoseconds, category, track, labels). The
+//!   default sink is a no-op that compiles down to an `Option` check, so
+//!   instrumented components cost nothing when tracing is disabled.
+//!   Causality is carried by [`TraceCtx`](trace::TraceCtx): the
+//!   fabric-unique transaction id (`(node << 48) | seq`, allocated by the
+//!   FHA) doubles as the trace id, so every hop that sees a transaction or
+//!   one of its data slots tags its span with the same id — no protocol
+//!   struct grows a field.
+//! * [`metrics`] — a [`MetricsRegistry`](metrics::MetricsRegistry)
+//!   aggregating the `fcc-sim` `Counter`/`Gauge`/`Histogram` primitives
+//!   under hierarchical dotted names, with merge and JSON snapshot export.
+//! * [`perfetto`] — a deterministic Chrome trace-event JSON writer; load
+//!   the output in `ui.perfetto.dev` or `chrome://tracing`.
+//! * [`report`] — parses an exported trace back and computes per-hop
+//!   breakdowns, credit-wait congestion attribution, and RTT tail
+//!   statistics (the `trace-report` binary's engine).
+//! * [`json`] — the minimal hand-rolled JSON writer/parser both sides use
+//!   (the build environment has no `serde_json`).
+
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{MetricValue, MetricsRegistry};
+pub use report::TraceData;
+pub use trace::{record_deadlock, SpanKind, SpanRecord, TraceCtx, TraceSink, Track};

@@ -1,0 +1,276 @@
+//! A labeled metrics registry over the `fcc-sim` stats primitives.
+//!
+//! Components across the workspace already keep `Counter`s, `Gauge`s and
+//! `Histogram`s; the registry collects snapshots of them under
+//! hierarchical dotted names (`e3b.bulk.fs0.forwarded`), merges repeated
+//! recordings (counters sum, histograms merge, gauges keep the peak), and
+//! exports a deterministic JSON snapshot.
+
+use std::collections::BTreeMap;
+
+use fcc_sim::{Counter, Gauge, Histogram, SimTime, Summary};
+
+use crate::json::escape;
+
+/// One aggregated metric.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A monotonic count (repeated recordings sum).
+    Counter(u64),
+    /// A sampled level (repeated recordings keep the latest level and the
+    /// overall peak).
+    Gauge {
+        /// Last recorded level.
+        level: f64,
+        /// Highest level across recordings.
+        peak: f64,
+        /// Last recorded time-weighted mean.
+        mean: f64,
+    },
+    /// A distribution (repeated recordings merge).
+    Histogram(Histogram),
+}
+
+/// A named collection of aggregated metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn add_counter(&mut self, name: &str, n: u64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Counter(v)) => *v += n,
+            Some(_) => {} // type clash: first recording wins the type.
+            None => {
+                self.metrics
+                    .insert(name.to_string(), MetricValue::Counter(n));
+            }
+        }
+    }
+
+    /// Records a [`Counter`] snapshot under `name`.
+    pub fn record_counter(&mut self, name: &str, c: &Counter) {
+        self.add_counter(name, c.get());
+    }
+
+    /// Records a [`Gauge`] snapshot under `name` (`now` resolves the
+    /// time-weighted mean).
+    pub fn record_gauge(&mut self, name: &str, g: &Gauge, now: SimTime) {
+        let (level, peak, mean) = (g.level(), g.peak(), g.mean(now));
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Gauge {
+                level: l,
+                peak: p,
+                mean: m,
+            }) => {
+                *l = level;
+                *p = p.max(peak);
+                *m = mean;
+            }
+            Some(_) => {}
+            None => {
+                self.metrics
+                    .insert(name.to_string(), MetricValue::Gauge { level, peak, mean });
+            }
+        }
+    }
+
+    /// Merges a [`Histogram`] snapshot into `name`.
+    pub fn record_histogram(&mut self, name: &str, h: &Histogram) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Histogram(existing)) => existing.merge(h),
+            Some(_) => {}
+            None => {
+                self.metrics
+                    .insert(name.to_string(), MetricValue::Histogram(h.clone()));
+            }
+        }
+    }
+
+    /// Merges another registry into this one (counters sum, histograms
+    /// merge, gauges keep the peak).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.metrics {
+            match value {
+                MetricValue::Counter(n) => self.add_counter(name, *n),
+                MetricValue::Gauge { level, peak, mean } => match self.metrics.get_mut(name) {
+                    Some(MetricValue::Gauge {
+                        level: l,
+                        peak: p,
+                        mean: m,
+                    }) => {
+                        *l = *level;
+                        *p = p.max(*peak);
+                        *m = *mean;
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.metrics.insert(name.clone(), value.clone());
+                    }
+                },
+                MetricValue::Histogram(h) => self.record_histogram(name, h),
+            }
+        }
+    }
+
+    /// The named counter's value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The named histogram's digest, if present.
+    pub fn histogram_summary(&self, name: &str) -> Option<Summary> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h.summary()),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// A deterministic JSON snapshot: an object keyed by metric name.
+    /// Counters render as numbers, gauges as `{level, peak, mean}`,
+    /// histograms as their digest (values in picoseconds).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, value) in &self.metrics {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  \"");
+            out.push_str(&escape(name));
+            out.push_str("\": ");
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge { level, peak, mean } => {
+                    out.push_str(&format!(
+                        "{{\"level\": {}, \"peak\": {}, \"mean\": {}}}",
+                        fmt_f64(*level),
+                        fmt_f64(*peak),
+                        fmt_f64(*mean)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let s = h.summary();
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"mean\": {}, \"min\": {}, \"p50\": {}, \
+                         \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+                        s.count,
+                        fmt_f64(s.mean),
+                        s.min,
+                        s.p50,
+                        s.p90,
+                        s.p99,
+                        s.p999,
+                        s.max
+                    ));
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Formats an `f64` deterministically for JSON (fixed 3 decimal places;
+/// non-finite values degrade to 0 since JSON has no NaN/Inf).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_recordings() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("a.b", 3);
+        reg.add_counter("a.b", 4);
+        assert_eq!(reg.counter("a.b"), Some(7));
+    }
+
+    #[test]
+    fn histogram_snapshots_merge() {
+        let mut h1 = Histogram::new();
+        h1.record(100);
+        h1.record(200);
+        let mut h2 = Histogram::new();
+        h2.record(1000);
+        let mut reg = MetricsRegistry::new();
+        reg.record_histogram("lat", &h1);
+        reg.record_histogram("lat", &h2);
+        let s = reg.histogram_summary("lat").expect("present");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 100);
+        assert!(s.max >= 1000);
+    }
+
+    #[test]
+    fn registry_merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.add_counter("c", 1);
+        let mut h = Histogram::new();
+        h.record(50);
+        a.record_histogram("h", &h);
+        let mut g = Gauge::new();
+        g.set(SimTime::ZERO, 2.0);
+        g.set(SimTime::from_ns(10.0), 1.0);
+        a.record_gauge("g", &g, SimTime::from_ns(10.0));
+
+        let mut b = MetricsRegistry::new();
+        b.add_counter("c", 10);
+        let mut h2 = Histogram::new();
+        h2.record(60);
+        b.record_histogram("h", &h2);
+
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(11));
+        assert_eq!(a.histogram_summary("h").map(|s| s.count), Some(2));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("z.last", 1);
+        reg.add_counter("a.first", 2);
+        let json = reg.to_json();
+        assert_eq!(json, reg.to_json());
+        let a = json.find("a.first").expect("a present");
+        let z = json.find("z.last").expect("z present");
+        assert!(a < z, "BTreeMap ordering");
+        // Round-trips through our own parser.
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert_eq!(parsed.get("a.first").and_then(|v| v.as_u64()), Some(2));
+    }
+}

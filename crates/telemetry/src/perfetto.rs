@@ -1,0 +1,187 @@
+//! Chrome trace-event (Perfetto-loadable) JSON export.
+//!
+//! Emits the JSON Object Format: `{"traceEvents": [...]}` with `M`
+//! metadata events naming processes and tracks, `X` complete events for
+//! duration spans, and `i` instants. Timestamps are microseconds; the
+//! writer formats picoseconds with six fixed decimal places via integer
+//! math, so output is byte-deterministic for a deterministic simulation.
+//! Load the file in <https://ui.perfetto.dev> or `chrome://tracing`.
+
+use crate::trace::{SpanKind, TraceSink};
+
+/// Formats picoseconds as a fixed-point microsecond literal.
+fn ps_as_us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+impl TraceSink {
+    /// Serializes the recorded trace as Chrome trace-event JSON. Returns
+    /// an empty document (no events) for a disabled sink.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        let mut first = true;
+        let mut push = |line: String, out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&line);
+        };
+        self.with_buf(|buf| {
+            for (pid, name) in buf.processes.iter().enumerate() {
+                push(
+                    format!(
+                        "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \"name\": \"process_name\", \
+                         \"args\": {{\"name\": \"{}\"}}}}",
+                        crate::json::escape(name)
+                    ),
+                    &mut out,
+                );
+            }
+            for (tid, (pid, name)) in buf.tracks.iter().enumerate() {
+                push(
+                    format!(
+                        "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+                         \"name\": \"thread_name\", \"args\": {{\"name\": \"{}\"}}}}",
+                        crate::json::escape(name)
+                    ),
+                    &mut out,
+                );
+            }
+            for span in &buf.spans {
+                let args = if span.trace_id != 0 {
+                    format!(", \"args\": {{\"txn\": \"{:#x}\"}}", span.trace_id)
+                } else {
+                    String::new()
+                };
+                let line = match span.kind {
+                    SpanKind::Complete => format!(
+                        "{{\"ph\": \"X\", \"pid\": {}, \"tid\": {}, \"ts\": {}, \"dur\": {}, \
+                         \"cat\": \"{}\", \"name\": \"{}\"{args}}}",
+                        span.pid,
+                        span.tid,
+                        ps_as_us(span.begin_ps),
+                        ps_as_us(span.end_ps - span.begin_ps),
+                        crate::json::escape(span.cat),
+                        crate::json::escape(&span.name),
+                    ),
+                    SpanKind::Instant => format!(
+                        "{{\"ph\": \"i\", \"pid\": {}, \"tid\": {}, \"ts\": {}, \"s\": \"t\", \
+                         \"cat\": \"{}\", \"name\": \"{}\"{args}}}",
+                        span.pid,
+                        span.tid,
+                        ps_as_us(span.begin_ps),
+                        crate::json::escape(span.cat),
+                        crate::json::escape(&span.name),
+                    ),
+                };
+                push(line, &mut out);
+            }
+        });
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fcc_sim::SimTime;
+
+    use crate::json;
+    use crate::trace::TraceCtx;
+
+    use super::*;
+
+    fn sample_sink() -> TraceSink {
+        let sink = TraceSink::recording();
+        sink.begin_process("scenario-a");
+        let t = sink.track("fha1");
+        t.span(
+            "fha",
+            "rtt-wr64B",
+            SimTime::from_ns(10.0),
+            SimTime::from_ns(1260.5),
+            TraceCtx::new(0x0001_0000_0000_0002),
+        );
+        t.instant(
+            "link",
+            "link.retransmit",
+            SimTime::from_ns(500.0),
+            TraceCtx::NONE,
+        );
+        sink
+    }
+
+    #[test]
+    fn fixed_point_microseconds() {
+        assert_eq!(ps_as_us(0), "0.000000");
+        assert_eq!(ps_as_us(1), "0.000001");
+        assert_eq!(ps_as_us(1_250_500), "1.250500");
+        assert_eq!(ps_as_us(3_000_000_000), "3000.000000");
+    }
+
+    #[test]
+    fn export_has_chrome_trace_shape() {
+        let json_text = sample_sink().to_chrome_json();
+        let doc = json::parse(&json_text).expect("exporter writes valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("top-level traceEvents array");
+        // 1 process_name + 1 thread_name + 2 spans.
+        assert_eq!(events.len(), 4);
+        for ev in events {
+            let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph present");
+            assert!(matches!(ph, "M" | "X" | "i"), "unknown phase {ph}");
+            assert!(ev.get("pid").and_then(|p| p.as_u64()).is_some());
+            assert!(ev.get("tid").and_then(|t| t.as_u64()).is_some());
+            assert!(ev.get("name").and_then(|n| n.as_str()).is_some());
+            match ph {
+                "X" => {
+                    assert!(ev.get("ts").and_then(|t| t.as_f64()).is_some());
+                    assert!(ev.get("dur").and_then(|d| d.as_f64()).is_some());
+                    assert!(ev.get("cat").and_then(|c| c.as_str()).is_some());
+                }
+                "i" => {
+                    assert!(ev.get("ts").and_then(|t| t.as_f64()).is_some());
+                    assert_eq!(ev.get("s").and_then(|s| s.as_str()), Some("t"));
+                }
+                _ => {
+                    assert!(ev.get("args").and_then(|a| a.get("name")).is_some());
+                }
+            }
+        }
+        // The complete span carries its causal id and µs timestamps.
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("one X event");
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("txn"))
+                .and_then(|t| t.as_str()),
+            Some("0x1000000000002")
+        );
+        let ts = x.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        assert!((ts - 0.01).abs() < 1e-9, "10 ns = 0.01 µs, got {ts}");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = sample_sink().to_chrome_json();
+        let b = sample_sink().to_chrome_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disabled_sink_exports_empty_document() {
+        let json_text = TraceSink::disabled().to_chrome_json();
+        let doc = json::parse(&json_text).expect("valid");
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(|e| e.as_arr())
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,524 @@
+//! Post-hoc trace analysis: reads an exported Chrome trace-event file
+//! back and computes per-hop latency breakdowns, credit-wait congestion
+//! attribution, and RTT tail statistics.
+//!
+//! This is the engine behind the `trace-report` binary: everything here
+//! works from the JSON alone, so the acceptance claim "the tail inflation
+//! is reproducible from the trace" does not depend on simulator state.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, JsonValue};
+
+/// One event read back from a trace file (times in picoseconds).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Process group (scenario).
+    pub pid: u32,
+    /// Track (component).
+    pub tid: u32,
+    /// Chrome phase: `X` (complete) or `i` (instant).
+    pub ph: char,
+    /// Category.
+    pub cat: String,
+    /// Label.
+    pub name: String,
+    /// Start time (ps).
+    pub ts_ps: u64,
+    /// Duration (ps; zero for instants).
+    pub dur_ps: u64,
+    /// Causal transaction id (0 = untracked).
+    pub trace_id: u64,
+}
+
+/// A parsed trace: metadata plus payload events.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Process names by pid.
+    pub processes: BTreeMap<u32, String>,
+    /// Track names by (pid, tid).
+    pub tracks: BTreeMap<(u32, u32), String>,
+    /// Payload events in file order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// RTT statistics for one (process, operation) group.
+#[derive(Debug, Clone)]
+pub struct RttGroup {
+    /// Scenario name.
+    pub process: String,
+    /// Operation label (e.g. `rtt-wr64B`).
+    pub name: String,
+    /// Completed operations.
+    pub count: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Median latency (ns).
+    pub p50_ns: f64,
+    /// 99th percentile latency (ns).
+    pub p99_ns: f64,
+    /// Maximum latency (ns).
+    pub max_ns: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn us_to_ps(us: f64) -> u64 {
+    (us * 1_000_000.0).round() as u64
+}
+
+impl TraceData {
+    /// Parses an exported Chrome trace-event JSON document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let events_json = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| "missing top-level traceEvents array".to_string())?;
+        let mut data = TraceData::default();
+        for ev in events_json {
+            let ph = ev
+                .get("ph")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "event without ph".to_string())?;
+            let pid = ev.get("pid").and_then(JsonValue::as_u64).unwrap_or(0) as u32;
+            let tid = ev.get("tid").and_then(JsonValue::as_u64).unwrap_or(0) as u32;
+            let name = ev
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string();
+            match ph {
+                "M" => {
+                    let label = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    match name.as_str() {
+                        "process_name" => {
+                            data.processes.insert(pid, label);
+                        }
+                        "thread_name" => {
+                            data.tracks.insert((pid, tid), label);
+                        }
+                        _ => {}
+                    }
+                }
+                "X" | "i" => {
+                    let ts_ps = us_to_ps(ev.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0));
+                    let dur_ps = us_to_ps(ev.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0));
+                    let trace_id = ev
+                        .get("args")
+                        .and_then(|a| a.get("txn"))
+                        .and_then(JsonValue::as_str)
+                        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+                        .unwrap_or(0);
+                    data.events.push(TraceEvent {
+                        pid,
+                        tid,
+                        ph: if ph == "X" { 'X' } else { 'i' },
+                        cat: ev
+                            .get("cat")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                        name,
+                        ts_ps,
+                        dur_ps,
+                        trace_id,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(data)
+    }
+
+    /// The scenario name of a pid (falls back to `pid<N>`).
+    pub fn process_name(&self, pid: u32) -> String {
+        self.processes
+            .get(&pid)
+            .cloned()
+            .unwrap_or_else(|| format!("pid{pid}"))
+    }
+
+    /// The component name of a track (falls back to `tid<N>`).
+    pub fn track_name(&self, pid: u32, tid: u32) -> String {
+        self.tracks
+            .get(&(pid, tid))
+            .cloned()
+            .unwrap_or_else(|| format!("tid{tid}"))
+    }
+
+    /// Total duration and event count per category, sorted by category.
+    pub fn category_totals(&self) -> Vec<(String, u64, u64)> {
+        let mut map: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for ev in &self.events {
+            let slot = map.entry(&ev.cat).or_default();
+            slot.0 += 1;
+            slot.1 += ev.dur_ps;
+        }
+        map.into_iter()
+            .map(|(cat, (count, dur))| (cat.to_string(), count, dur))
+            .collect()
+    }
+
+    /// Time blocked on credits per `process/track`, descending — the §3
+    /// D#3 congestion attribution (which ports camp on credits).
+    pub fn credit_wait_by_track(&self) -> Vec<(String, u64, u64)> {
+        let mut map: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+        for ev in &self.events {
+            if ev.cat == "credit" && ev.ph == 'X' {
+                let slot = map.entry((ev.pid, ev.tid)).or_default();
+                slot.0 += 1;
+                slot.1 += ev.dur_ps;
+            }
+        }
+        let mut rows: Vec<(String, u64, u64)> = map
+            .into_iter()
+            .map(|((pid, tid), (count, dur))| {
+                (
+                    format!("{}/{}", self.process_name(pid), self.track_name(pid, tid)),
+                    count,
+                    dur,
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Total credit-blocked time (ps) within one process group.
+    pub fn credit_wait_total(&self, pid: u32) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.pid == pid && e.cat == "credit" && e.ph == 'X')
+            .map(|e| e.dur_ps)
+            .sum()
+    }
+
+    /// End-to-end RTT statistics grouped by (process, operation label).
+    /// RTT spans are the `fha` category spans named `rtt-*`.
+    pub fn rtt_groups(&self) -> Vec<RttGroup> {
+        let mut map: BTreeMap<(u32, &str), Vec<u64>> = BTreeMap::new();
+        for ev in &self.events {
+            if ev.cat == "fha" && ev.name.starts_with("rtt") && ev.ph == 'X' {
+                map.entry((ev.pid, &ev.name)).or_default().push(ev.dur_ps);
+            }
+        }
+        map.into_iter()
+            .map(|((pid, name), mut durs)| {
+                durs.sort_unstable();
+                let count = durs.len() as u64;
+                let sum: u128 = durs.iter().map(|&d| d as u128).sum();
+                RttGroup {
+                    process: self.process_name(pid),
+                    name: name.to_string(),
+                    count,
+                    mean_ns: sum as f64 / count as f64 / 1000.0,
+                    p50_ns: percentile(&durs, 0.50) as f64 / 1000.0,
+                    p99_ns: percentile(&durs, 0.99) as f64 / 1000.0,
+                    max_ns: *durs.last().unwrap_or(&0) as f64 / 1000.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Every span of one transaction, ordered by start time — the per-hop
+    /// breakdown of a single remote access. `pid` restricts the breakdown
+    /// to one scenario: FHA transaction ids are per-adapter sequence
+    /// numbers, so distinct scenarios reuse them and an unscoped query
+    /// would interleave unrelated accesses.
+    pub fn hop_breakdown(&self, trace_id: u64, pid: Option<u32>) -> Vec<&TraceEvent> {
+        let mut hops: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.trace_id == trace_id && pid.is_none_or(|p| e.pid == p))
+            .collect();
+        hops.sort_by_key(|e| (e.ts_ps, std::cmp::Reverse(e.dur_ps)));
+        hops
+    }
+
+    /// The processes (scenarios) in which `trace_id` appears, ascending.
+    pub fn processes_of(&self, trace_id: u64) -> Vec<u32> {
+        let mut pids: Vec<u32> = self
+            .events
+            .iter()
+            .filter(|e| e.trace_id == trace_id)
+            .map(|e| e.pid)
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids
+    }
+
+    /// The `n` slowest RTT spans, descending.
+    pub fn slowest_rtts(&self, n: usize) -> Vec<&TraceEvent> {
+        let mut rtts: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.cat == "fha" && e.name.starts_with("rtt") && e.ph == 'X')
+            .collect();
+        rtts.sort_by_key(|e| std::cmp::Reverse(e.dur_ps));
+        rtts.truncate(n);
+        rtts
+    }
+
+    /// Tail-inflation factors: for each RTT label observed in several
+    /// processes, the ratio of worst to best p99 (and mean). This is how
+    /// `trace-report` reproduces the E3b claim from the trace alone.
+    pub fn tail_inflation(&self) -> Vec<(String, f64, f64)> {
+        let groups = self.rtt_groups();
+        let mut by_name: BTreeMap<&str, Vec<&RttGroup>> = BTreeMap::new();
+        for g in &groups {
+            by_name.entry(&g.name).or_default().push(g);
+        }
+        by_name
+            .into_iter()
+            .filter(|(_, gs)| gs.len() >= 2)
+            .map(|(name, gs)| {
+                let (mut p99_min, mut p99_max) = (f64::MAX, 0.0f64);
+                let (mut mean_min, mut mean_max) = (f64::MAX, 0.0f64);
+                for g in gs {
+                    p99_min = p99_min.min(g.p99_ns);
+                    p99_max = p99_max.max(g.p99_ns);
+                    mean_min = mean_min.min(g.mean_ns);
+                    mean_max = mean_max.max(g.mean_ns);
+                }
+                (
+                    name.to_string(),
+                    p99_max / p99_min.max(1e-9),
+                    mean_max / mean_min.max(1e-9),
+                )
+            })
+            .collect()
+    }
+
+    /// Deadlock events recorded in the trace, if any.
+    pub fn deadlock_events(&self) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.cat == "deadlock").collect()
+    }
+
+    /// Renders the full human-readable report.
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        // `write!` to a String cannot fail; drop the Results.
+        let _ = writeln!(
+            out,
+            "trace: {} event(s), {} process(es), {} track(s)",
+            self.events.len(),
+            self.processes.len(),
+            self.tracks.len()
+        );
+        let _ = writeln!(out, "\n-- time by category --");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>14}",
+            "category", "events", "total (us)"
+        );
+        for (cat, count, dur) in self.category_totals() {
+            let _ = writeln!(out, "{:<12} {:>10} {:>14.3}", cat, count, dur as f64 / 1e6);
+        }
+        let credit = self.credit_wait_by_track();
+        if !credit.is_empty() {
+            let _ = writeln!(out, "\n-- time blocked on credits, by component --");
+            let _ = writeln!(
+                out,
+                "{:<32} {:>8} {:>14}",
+                "component", "waits", "total (us)"
+            );
+            for (track, count, dur) in credit.iter().take(12) {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>8} {:>14.3}",
+                    track,
+                    count,
+                    *dur as f64 / 1e6
+                );
+            }
+        }
+        let groups = self.rtt_groups();
+        if !groups.is_empty() {
+            let _ = writeln!(out, "\n-- round-trip latency by scenario and op --");
+            let _ = writeln!(
+                out,
+                "{:<20} {:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "scenario", "op", "count", "mean(ns)", "p50(ns)", "p99(ns)", "max(ns)"
+            );
+            for g in &groups {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:<14} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                    g.process, g.name, g.count, g.mean_ns, g.p50_ns, g.p99_ns, g.max_ns
+                );
+            }
+        }
+        for (name, p99x, meanx) in self.tail_inflation() {
+            let _ = writeln!(
+                out,
+                "tail inflation for {name}: p99 {p99x:.1}x, mean {meanx:.1}x across scenarios"
+            );
+        }
+        let slowest = self.slowest_rtts(5);
+        if !slowest.is_empty() {
+            let _ = writeln!(out, "\n-- slowest transactions (critical paths) --");
+            for rtt in &slowest {
+                let _ = writeln!(
+                    out,
+                    "txn {:#x}: rtt {:.0} ns in {}/{}",
+                    rtt.trace_id,
+                    rtt.dur_ps as f64 / 1e3,
+                    self.process_name(rtt.pid),
+                    self.track_name(rtt.pid, rtt.tid)
+                );
+            }
+            // Per-hop breakdown of the single slowest transaction.
+            if let Some(worst) = slowest.first().filter(|w| w.trace_id != 0) {
+                let _ = writeln!(
+                    out,
+                    "\n-- per-hop breakdown of txn {:#x} in {} --",
+                    worst.trace_id,
+                    self.process_name(worst.pid)
+                );
+                let _ = writeln!(
+                    out,
+                    "{:>12} {:>10} {:<24} {:<10} span",
+                    "ts (ns)", "dur (ns)", "component", "category"
+                );
+                for hop in self.hop_breakdown(worst.trace_id, Some(worst.pid)) {
+                    let _ = writeln!(
+                        out,
+                        "{:>12.1} {:>10.1} {:<24} {:<10} {}",
+                        hop.ts_ps as f64 / 1e3,
+                        hop.dur_ps as f64 / 1e3,
+                        self.track_name(hop.pid, hop.tid),
+                        hop.cat,
+                        hop.name
+                    );
+                }
+            }
+        }
+        let deadlocks = self.deadlock_events();
+        if !deadlocks.is_empty() {
+            let _ = writeln!(out, "\n-- deadlock events --");
+            for d in deadlocks {
+                let _ = writeln!(out, "at {:.1} ns: {}", d.ts_ps as f64 / 1e3, d.name);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fcc_sim::SimTime;
+
+    use crate::trace::{TraceCtx, TraceSink};
+
+    use super::*;
+
+    fn synthetic_trace() -> TraceData {
+        let sink = TraceSink::recording();
+        sink.begin_process("alone");
+        let fha_a = sink.track("fha1");
+        for i in 0..100u64 {
+            let id = TraceCtx::new(0x1_0000_0000_0000 + i);
+            fha_a.span(
+                "fha",
+                "rtt-wr64B",
+                SimTime::from_ns((i * 10) as f64),
+                SimTime::from_ns((i * 10 + 500) as f64),
+                id,
+            );
+        }
+        sink.begin_process("bulk");
+        let fha_b = sink.track("fha1");
+        let port = sink.track("fs0.p1");
+        for i in 0..100u64 {
+            let id = TraceCtx::new(0x2_0000_0000_0000 + i);
+            let begin = SimTime::from_ns((i * 10) as f64);
+            // 10x slower under interference; half the time is credit-wait.
+            fha_b.span(
+                "fha",
+                "rtt-wr64B",
+                begin,
+                begin + SimTime::from_ns(5000.0),
+                id,
+            );
+            port.span(
+                "credit",
+                "link.credit_wait",
+                begin,
+                begin + SimTime::from_ns(2500.0),
+                id,
+            );
+        }
+        TraceData::from_json(&sink.to_chrome_json()).expect("round trip")
+    }
+
+    #[test]
+    fn round_trip_preserves_counts_and_names() {
+        let data = synthetic_trace();
+        assert_eq!(data.processes.len(), 2);
+        assert_eq!(data.events.len(), 300);
+        assert_eq!(data.process_name(0), "alone");
+        assert_eq!(data.process_name(1), "bulk");
+        assert_eq!(data.track_name(1, 2), "fs0.p1");
+    }
+
+    #[test]
+    fn tail_inflation_is_recovered_from_the_trace_alone() {
+        let data = synthetic_trace();
+        let inflation = data.tail_inflation();
+        assert_eq!(inflation.len(), 1);
+        let (name, p99x, meanx) = &inflation[0];
+        assert_eq!(name, "rtt-wr64B");
+        assert!((*p99x - 10.0).abs() < 0.5, "p99 inflation {p99x}");
+        assert!((*meanx - 10.0).abs() < 0.5, "mean inflation {meanx}");
+    }
+
+    #[test]
+    fn credit_attribution_points_at_the_congested_port() {
+        let data = synthetic_trace();
+        let credit = data.credit_wait_by_track();
+        assert_eq!(credit.len(), 1);
+        assert_eq!(credit[0].0, "bulk/fs0.p1");
+        assert_eq!(credit[0].1, 100);
+        assert_eq!(data.credit_wait_total(1), 100 * 2_500_000);
+        assert_eq!(data.credit_wait_total(0), 0);
+    }
+
+    #[test]
+    fn hop_breakdown_collects_all_spans_of_a_txn() {
+        let data = synthetic_trace();
+        let hops = data.hop_breakdown(0x2_0000_0000_0000, None);
+        assert_eq!(hops.len(), 2, "rtt + credit wait");
+        assert!(hops.iter().any(|h| h.cat == "credit"));
+        let pid = hops[0].pid;
+        assert_eq!(data.processes_of(0x2_0000_0000_0000), vec![pid]);
+        assert_eq!(data.hop_breakdown(0x2_0000_0000_0000, Some(pid)).len(), 2);
+        assert!(data
+            .hop_breakdown(0x2_0000_0000_0000, Some(pid + 1))
+            .is_empty());
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let data = synthetic_trace();
+        let text = data.render_report();
+        assert!(text.contains("time by category"));
+        assert!(text.contains("blocked on credits"));
+        assert!(text.contains("rtt-wr64B"));
+        assert!(text.contains("tail inflation"));
+        assert!(text.contains("per-hop breakdown"));
+    }
+}

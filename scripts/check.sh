@@ -17,4 +17,15 @@ cargo test --workspace -q
 echo "==> coherence model check (exhaustive, small configs)"
 cargo run --release -p fcc-verify --bin check-coherence
 
+echo "==> traced experiment smoke (telemetry export end to end)"
+artifacts="${TELEMETRY_ARTIFACT_DIR:-target/telemetry-smoke}"
+mkdir -p "$artifacts"
+cargo run --release -p fcc-bench --bin experiments -- --quick e3a \
+    --json "$artifacts/results.json" \
+    --trace "$artifacts/trace.json" \
+    --metrics "$artifacts/metrics.json"
+cargo run --release -p fcc-telemetry --bin trace-report -- "$artifacts/trace.json" \
+    > "$artifacts/trace-report.txt"
+grep -q "time by category" "$artifacts/trace-report.txt"
+
 echo "all checks passed"
