@@ -9,6 +9,8 @@
 //!
 //! * `list` prints the experiment-id table and exits.
 //! * `--quick` shortens op counts (CI-friendly; same shapes).
+//! * `--seed <n>` salts every scenario's RNG (default 0, the published
+//!   numbers); different seeds re-draw workloads without changing shapes.
 //! * `--json <file>` writes every run experiment's scalar results as one
 //!   JSON object keyed by experiment id.
 //! * `--trace <file>` writes a Chrome-trace-event/Perfetto JSON causal
@@ -21,12 +23,12 @@ use std::process::ExitCode;
 
 use fcc_bench::capture::Capture;
 use fcc_bench::{
-    exp_abl, exp_e10, exp_e3, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8, exp_e9, exp_f1, exp_nodes,
-    exp_t1, exp_t2, fmt_table,
+    exp_abl, exp_e10, exp_e11, exp_e3, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8, exp_e9, exp_f1,
+    exp_nodes, exp_t1, exp_t2, fmt_table,
 };
 
 /// Experiment registry: `(id, traced, description)`.
-const ALL: [(&str, bool, &str); 19] = [
+const ALL: [(&str, bool, &str); 20] = [
     ("t1", false, "Table 1: commodity memory fabrics registry"),
     (
         "t2",
@@ -70,6 +72,11 @@ const ALL: [(&str, bool, &str); 19] = [
     ("e8", false, "baseband pipeline deployment modes"),
     ("e9", false, "MLP window and working-set sweeps"),
     ("e10", false, "FAA kernel launch and context switching"),
+    (
+        "e11",
+        true,
+        "online composition: hot-add, managed drain, naive yank",
+    ),
     ("nodes", false, "memory-node types: expander vs CC-NUMA"),
     ("abl-flit", false, "ablation: 68 B vs 256 B flit framing"),
     (
@@ -101,7 +108,7 @@ fn slug(label: &str) -> String {
         .collect()
 }
 
-fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
+fn run_one(id: &str, quick: bool, cap: &mut Capture, seed: u64) -> Option<Scalars> {
     println!("================================================================");
     let mut s: Scalars = Vec::new();
     match id {
@@ -111,7 +118,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("fabrics", r.rows.len() as f64));
         }
         "t2" => {
-            let r = exp_t2::run_captured(quick, cap);
+            let r = exp_t2::run_captured_seeded(quick, cap, seed);
             println!("{r}");
             for t in &r.tiers {
                 let tier = slug(t.name);
@@ -123,7 +130,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("remote_local_ratio", r.remote_local_ratio()));
         }
         "f1" => {
-            let r = exp_f1::run();
+            let r = exp_f1::run_seeded(seed);
             println!("{r}");
             s.push(kv("hosts", r.hosts as f64));
             s.push(kv("devices", r.devices as f64));
@@ -134,7 +141,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("mean_read_ns", r.mean_read_ns));
         }
         "e3a" => {
-            let r = exp_e3::run_a_captured(quick, cap);
+            let r = exp_e3::run_a_captured_seeded(quick, cap, seed);
             println!("{r}");
             s.push(kv("inhost_ns", r.inhost_ns));
             for &(w, ns) in &r.disaggregated {
@@ -143,7 +150,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("delta_w8_ns", r.delta_at(8)));
         }
         "e3b" => {
-            let r = exp_e3::run_b_captured(quick, cap);
+            let r = exp_e3::run_b_captured_seeded(quick, cap, seed);
             println!("{r}");
             s.push(kv("alone_mean_ns", r.alone.mean));
             s.push(kv("alone_p99_ns", r.alone.p99));
@@ -153,7 +160,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("p99_inflation", r.p99_inflation()));
         }
         "e3c" => {
-            let r = exp_e3::run_c_captured(quick, cap);
+            let r = exp_e3::run_c_captured_seeded(quick, cap, seed);
             println!("{r}");
             for o in &r.outcomes {
                 let p = slug(o.policy);
@@ -163,7 +170,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             }
         }
         "e3d" => {
-            let r = exp_e3::run_d_captured(quick, cap);
+            let r = exp_e3::run_d_captured_seeded(quick, cap, seed);
             println!("{r}");
             s.push(kv("fifo_fast_ops_us", r.fifo_fast_tput));
             s.push(kv("voq_fast_ops_us", r.voq_fast_tput));
@@ -171,7 +178,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("hol_factor", r.hol_factor()));
         }
         "e3e" => {
-            let r = exp_e3::run_e_captured(quick, cap);
+            let r = exp_e3::run_e_captured_seeded(quick, cap, seed);
             println!("{r}");
             s.push(kv("victim_alone_ops_us", r.victim_alone));
             s.push(kv("victim_congested_ops_us", r.victim_congested));
@@ -179,7 +186,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("degradation", r.degradation()));
         }
         "e4" => {
-            let r = exp_e4::run(quick);
+            let r = exp_e4::run_seeded(quick, seed);
             println!("{r}");
             s.push(kv("chunks", r.chunks as f64));
             s.push(kv("sync_us", r.sync_us));
@@ -189,7 +196,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("speedup", r.speedup()));
         }
         "e5" => {
-            let r = exp_e5::run(quick);
+            let r = exp_e5::run_seeded(quick, seed);
             println!("{r}");
             for o in &r.outcomes {
                 let p = slug(o.policy);
@@ -200,7 +207,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("speedup_vs_remote", r.speedup_vs_remote()));
         }
         "e6" => {
-            let r = exp_e6::run(quick);
+            let r = exp_e6::run_seeded(quick, seed);
             println!("{r}");
             s.push(kv("baseline_us", r.baseline_us));
             for p in &r.points {
@@ -221,7 +228,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("versioned_is_safe", r.versioned_is_safe as u64 as f64));
         }
         "e7" => {
-            let r = exp_e7::run(quick);
+            let r = exp_e7::run_seeded(quick, seed);
             println!("{r}");
             s.push(kv("control_rtt_ns", r.control_rtt_ns));
             s.push(kv("uncoordinated_hog_ops_us", r.uncoordinated.0));
@@ -232,7 +239,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("jain_after", r.jain_after));
         }
         "e8" => {
-            let r = exp_e8::run(quick);
+            let r = exp_e8::run_seeded(quick, seed);
             println!("{r}");
             s.push(kv("ber_15db", r.ber_15db));
             s.push(kv("ber_35db", r.ber_35db));
@@ -242,7 +249,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("unifabric_with_failure_us", r.unifabric_with_failure_us));
         }
         "e9" => {
-            let r = exp_e9::run(quick);
+            let r = exp_e9::run_seeded(quick, seed);
             println!("{r}");
             for &(w, mops) in &r.window_sweep {
                 s.push(kv(&format!("window{w}_mops"), mops));
@@ -252,7 +259,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             }
         }
         "e10" => {
-            let r = exp_e10::run(quick);
+            let r = exp_e10::run_seeded(quick, seed);
             println!("{r}");
             s.push(kv("fabric_launch_ns", r.fabric_launch_ns));
             s.push(kv("rdma_launch_ns", r.rdma_launch_ns));
@@ -261,8 +268,22 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("slow_switch_us", r.slow_switch_us));
             s.push(kv("switches", r.switches as f64));
         }
+        "e11" => {
+            let r = exp_e11::run_captured_seeded(quick, cap, seed);
+            println!("{r}");
+            s.push(kv("steady_p99_ns", r.steady.p99_ns));
+            s.push(kv("managed_p99_ns", r.managed.p99_ns));
+            s.push(kv("managed_p99_inflation", r.managed_p99_inflation()));
+            s.push(kv("managed_lost_objects", r.managed.lost_objects as f64));
+            s.push(kv("managed_deadlocked", r.managed.deadlocked as u64 as f64));
+            s.push(kv("managed_epochs", r.managed.epochs as f64));
+            s.push(kv("evac_jobs", r.managed.evac_jobs as f64));
+            s.push(kv("evac_bytes", r.managed.evac_bytes as f64));
+            s.push(kv("yank_lost_objects", r.yank.lost_objects as f64));
+            s.push(kv("yank_deadlocked", r.yank.deadlocked as u64 as f64));
+        }
         "nodes" => {
-            let r = exp_nodes::run(quick);
+            let r = exp_nodes::run_seeded(quick, seed);
             println!("{r}");
             s.push(kv("expander_ns", r.expander_ns));
             s.push(kv("ccnuma_private_ns", r.ccnuma_private_ns));
@@ -270,7 +291,7 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("snoops", r.snoops as f64));
         }
         "abl-flit" => {
-            let r = exp_abl::run_flit(quick);
+            let r = exp_abl::run_flit_seeded(quick, seed);
             println!("{r}");
             s.push(kv("bulk_flit68_ops_us", r.bulk.0));
             s.push(kv("bulk_flit256_ops_us", r.bulk.1));
@@ -278,13 +299,13 @@ fn run_one(id: &str, quick: bool, cap: &mut Capture) -> Option<Scalars> {
             s.push(kv("small_flit256_ns", r.small.1));
         }
         "abl-adaptive" => {
-            let r = exp_abl::run_adaptive(quick);
+            let r = exp_abl::run_adaptive_seeded(quick, seed);
             println!("{r}");
             s.push(kv("deterministic_ops_us", r.deterministic));
             s.push(kv("adaptive_ops_us", r.adaptive));
         }
         "abl-credits" => {
-            let r = exp_abl::run_credits(quick);
+            let r = exp_abl::run_credits_seeded(quick, seed);
             println!("{r}");
             for &(flits, tput) in &r.points {
                 s.push(kv(&format!("credits{flits}_ops_us"), tput));
@@ -334,7 +355,7 @@ fn print_list() {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments list\n       experiments [--quick] [--json <file>] \
+        "usage: experiments list\n       experiments [--quick] [--seed <n>] [--json <file>] \
          [--trace <file>] [--metrics <file>] <id>... | all"
     );
     eprintln!(
@@ -363,6 +384,7 @@ fn write_file(path: &str, contents: &str, what: &str) -> Result<(), ExitCode> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut seed = 0u64;
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
@@ -371,6 +393,19 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--seed" => {
+                let Some(n) = it.next() else {
+                    eprintln!("error: --seed requires a number");
+                    return usage();
+                };
+                match n.parse::<u64>() {
+                    Ok(n) => seed = n,
+                    Err(e) => {
+                        eprintln!("error: --seed {n:?}: {e}");
+                        return usage();
+                    }
+                }
+            }
             "--json" | "--trace" | "--metrics" => {
                 let Some(path) = it.next() else {
                     eprintln!("error: {a} requires a file argument");
@@ -432,7 +467,7 @@ fn main() -> ExitCode {
     }
     let mut results: Vec<(String, Scalars)> = Vec::new();
     for id in &ids {
-        match run_one(id, quick, &mut cap) {
+        match run_one(id, quick, &mut cap, seed) {
             Some(scalars) => results.push((id.clone(), scalars)),
             None => {
                 // Unreachable: ids were validated against ALL above.

@@ -45,8 +45,8 @@ pub struct FlitAblation {
     pub small: (f64, f64),
 }
 
-fn run_mode(mode: FlitMode, op_bytes: u32, count: u64) -> (f64, f64) {
-    let mut engine = Engine::new(0xAB1);
+fn run_mode(mode: FlitMode, op_bytes: u32, count: u64, seed: u64) -> (f64, f64) {
+    let mut engine = Engine::new(0xAB1 ^ seed);
     let phys = PhysConfig {
         flit_mode: mode,
         ..PhysConfig::omega_like()
@@ -87,12 +87,17 @@ fn run_mode(mode: FlitMode, op_bytes: u32, count: u64) -> (f64, f64) {
 
 /// Runs the flit-mode ablation.
 pub fn run_flit(quick: bool) -> FlitAblation {
+    run_flit_seeded(quick, 0)
+}
+
+/// [`run_flit`] with a caller-supplied RNG seed salt.
+pub fn run_flit_seeded(quick: bool, seed: u64) -> FlitAblation {
     let bulk_n = if quick { 200 } else { 1000 };
     let small_n = if quick { 500 } else { 3000 };
-    let b68 = run_mode(FlitMode::Flit68, 16384, bulk_n);
-    let b256 = run_mode(FlitMode::Flit256, 16384, bulk_n);
-    let s68 = run_mode(FlitMode::Flit68, 64, small_n);
-    let s256 = run_mode(FlitMode::Flit256, 64, small_n);
+    let b68 = run_mode(FlitMode::Flit68, 16384, bulk_n, seed);
+    let b256 = run_mode(FlitMode::Flit256, 16384, bulk_n, seed);
+    let s68 = run_mode(FlitMode::Flit68, 64, small_n, seed);
+    let s256 = run_mode(FlitMode::Flit256, 64, small_n, seed);
     FlitAblation {
         bulk: (b68.0, b256.0),
         small: (s68.1, s256.1),
@@ -140,13 +145,13 @@ pub struct AdaptiveAblation {
 /// Builds hosts → s0 → {sA | sB} → s1 → {dev0, dev1}: the two relay
 /// links are the only shared segment. Deterministic routing sends both
 /// write flows through relay A; adaptive routing spreads them.
-fn run_paths(adaptive: bool, quick: bool) -> f64 {
+fn run_paths(adaptive: bool, quick: bool, seed: u64) -> f64 {
     let horizon = if quick {
         SimTime::from_us(100.0)
     } else {
         SimTime::from_us(400.0)
     };
-    let mut engine = Engine::new(0xAB2);
+    let mut engine = Engine::new(0xAB2 ^ seed);
     let credit = CreditConfig {
         buffer_flits: 512,
         overcommit: 1.0,
@@ -289,9 +294,14 @@ fn run_paths(adaptive: bool, quick: bool) -> f64 {
 
 /// Runs the adaptive-routing ablation.
 pub fn run_adaptive(quick: bool) -> AdaptiveAblation {
+    run_adaptive_seeded(quick, 0)
+}
+
+/// [`run_adaptive`] with a caller-supplied RNG seed salt.
+pub fn run_adaptive_seeded(quick: bool, seed: u64) -> AdaptiveAblation {
     AdaptiveAblation {
-        deterministic: run_paths(false, quick),
-        adaptive: run_paths(true, quick),
+        deterministic: run_paths(false, quick, seed),
+        adaptive: run_paths(true, quick, seed),
     }
 }
 
@@ -334,10 +344,15 @@ pub struct CreditAblation {
 
 /// Runs the credit-depth sweep on the long calibrated links.
 pub fn run_credits(quick: bool) -> CreditAblation {
+    run_credits_seeded(quick, 0)
+}
+
+/// [`run_credits`] with a caller-supplied RNG seed salt.
+pub fn run_credits_seeded(quick: bool, seed: u64) -> CreditAblation {
     let count = if quick { 150 } else { 800 };
     let mut points = Vec::new();
     for &flits in &[16u32, 128, 1024, 2048] {
-        let mut engine = Engine::new(0xAB3);
+        let mut engine = Engine::new(0xAB3 ^ seed);
         let credit = CreditConfig {
             buffer_flits: flits,
             overcommit: 1.0,

@@ -67,8 +67,8 @@ impl Component for LaunchProbe {
 /// The FAA sits one FabreX-like switch away (25 ns cables), matching the
 /// wire the RDMA baseline uses — the comparison isolates the *path*
 /// (plain stores vs driver + DMA + completion), not the link.
-fn fabric_launch() -> f64 {
-    let mut engine = Engine::new(0xE10);
+fn fabric_launch(seed: u64) -> f64 {
+    let mut engine = Engine::new(0xE10 ^ seed);
     let mut spec = calib::topo_spec();
     spec.switch.phys = fcc_proto::phys::PhysConfig::omega_like();
     spec.switch.fwd_latency = SimTime::from_ns(90.0);
@@ -175,8 +175,8 @@ struct GoRdma;
 
 /// Launch over the communication fabric: channel setup, context DMA, and
 /// doorbell — serialized submission/completion rounds.
-fn rdma_launch() -> f64 {
-    let mut engine = Engine::new(0xE10 + 1);
+fn rdma_launch(seed: u64) -> f64 {
+    let mut engine = Engine::new((0xE10 + 1) ^ seed);
     let nic = engine.add_component("nic", RdmaNic::new(RdmaConfig::kernel_bypass()));
     let probe = engine.add_component(
         "probe",
@@ -210,8 +210,8 @@ impl Component for FaaSink {
 }
 
 /// Runs the multiplexed-FAA workload with a given context-switch cost.
-fn multiplexed_faa(ctx_switch: SimTime, invocations: u64) -> (f64, u64) {
-    let mut engine = Engine::new(0xE10 + 2);
+fn multiplexed_faa(ctx_switch: SimTime, invocations: u64, seed: u64) -> (f64, u64) {
+    let mut engine = Engine::new((0xE10 + 2) ^ seed);
     let sink = engine.add_component(
         "sink",
         FaaSink {
@@ -246,11 +246,16 @@ fn multiplexed_faa(ctx_switch: SimTime, invocations: u64) -> (f64, u64) {
 
 /// Runs E10.
 pub fn run(quick: bool) -> E10Result {
+    run_seeded(quick, 0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(quick: bool, seed: u64) -> E10Result {
     let invocations = if quick { 400 } else { 2000 };
-    let fabric_launch_ns = fabric_launch();
-    let rdma_launch_ns = rdma_launch();
-    let (fast_switch_us, switches) = multiplexed_faa(SimTime::from_ns(200.0), invocations);
-    let (slow_switch_us, _) = multiplexed_faa(SimTime::from_us(5.0), invocations);
+    let fabric_launch_ns = fabric_launch(seed);
+    let rdma_launch_ns = rdma_launch(seed);
+    let (fast_switch_us, switches) = multiplexed_faa(SimTime::from_ns(200.0), invocations, seed);
+    let (slow_switch_us, _) = multiplexed_faa(SimTime::from_us(5.0), invocations, seed);
     E10Result {
         fabric_launch_ns,
         rdma_launch_ns,

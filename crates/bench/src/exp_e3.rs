@@ -122,10 +122,15 @@ pub fn run_a(quick: bool) -> E3aResult {
 /// Runs E3a, feeding telemetry into `cap`. Scenario (process) labels:
 /// `e3a-inhost`, `e3a-w{N}`.
 pub fn run_a_captured(quick: bool, cap: &mut Capture) -> E3aResult {
+    run_a_captured_seeded(quick, cap, 0)
+}
+
+/// [`run_a_captured`] with a caller-supplied RNG seed salt.
+pub fn run_a_captured_seeded(quick: bool, cap: &mut Capture, seed: u64) -> E3aResult {
     let count = if quick { 300 } else { 2000 };
     // In-host: direct attach, single writer.
     let inhost_ns = {
-        let mut engine = Engine::new(0xE3A);
+        let mut engine = Engine::new(0xE3A ^ seed);
         let topo = topology::direct(&mut engine, default_spec(), e3a_device());
         cap.begin_scenario("e3a-inhost", &mut engine, &topo);
         let lg = attach_load(
@@ -152,7 +157,7 @@ pub fn run_a_captured(quick: bool, cap: &mut Capture) -> E3aResult {
     // Disaggregated: one switch, N concurrent writers to the same chassis.
     let mut disaggregated = Vec::new();
     for &writers in &[1usize, 2, 4, 8] {
-        let mut engine = Engine::new(0xE3A + writers as u64);
+        let mut engine = Engine::new((0xE3A ^ seed) + writers as u64);
         let topo =
             topology::single_switch(&mut engine, default_spec(), writers, vec![e3a_device()]);
         let label = format!("e3a-w{writers}");
@@ -251,9 +256,14 @@ pub fn run_b(quick: bool) -> E3bResult {
 /// `e3b-bulk` — comparing the two process groups' `credit` spans shows
 /// the 16 KiB writers camping on link credits.
 pub fn run_b_captured(quick: bool, cap: &mut Capture) -> E3bResult {
+    run_b_captured_seeded(quick, cap, 0)
+}
+
+/// [`run_b_captured`] with a caller-supplied RNG seed salt.
+pub fn run_b_captured_seeded(quick: bool, cap: &mut Capture, seed: u64) -> E3bResult {
     let count = if quick { 400 } else { 3000 };
     let mut run = |with_bulk: bool| -> SummaryNs {
-        let mut engine = Engine::new(0xE3B + with_bulk as u64);
+        let mut engine = Engine::new((0xE3B ^ seed) + with_bulk as u64);
         let topo = topology::single_switch(&mut engine, default_spec(), 5, vec![fabrex_device()]);
         let label = if with_bulk { "e3b-bulk" } else { "e3b-alone" };
         cap.begin_scenario(label, &mut engine, &topo);
@@ -363,13 +373,14 @@ fn run_alloc_policy(
     scenario: &str,
     quick: bool,
     cap: &mut Capture,
+    seed: u64,
 ) -> AllocOutcome {
     let horizon = if quick {
         SimTime::from_us(150.0)
     } else {
         SimTime::from_us(600.0)
     };
-    let mut engine = Engine::new(0xE3C);
+    let mut engine = Engine::new(0xE3C ^ seed);
     let topo = topology::single_switch(
         &mut engine,
         fabrex_spec(QueueDiscipline::Voq, policy),
@@ -445,19 +456,37 @@ pub fn run_c(quick: bool) -> E3cResult {
     run_c_captured(quick, &mut Capture::disabled())
 }
 
+/// [`run_c`] with a caller-supplied RNG seed salt.
+pub fn run_c_seeded(quick: bool, seed: u64) -> E3cResult {
+    run_c_captured_seeded(quick, &mut Capture::disabled(), seed)
+}
+
 /// Runs E3c, feeding telemetry into `cap`. Scenario labels: `e3c-fair`,
 /// `e3c-rampup` — the ramp-up process shows `arb` (`switch.arb_wait`)
 /// spans piling up on the bursty hosts' ports.
 pub fn run_c_captured(quick: bool, cap: &mut Capture) -> E3cResult {
+    run_c_captured_seeded(quick, cap, 0)
+}
+
+/// [`run_c_captured`] with a caller-supplied RNG seed salt.
+pub fn run_c_captured_seeded(quick: bool, cap: &mut Capture, seed: u64) -> E3cResult {
     E3cResult {
         outcomes: vec![
-            run_alloc_policy(AllocPolicy::Fair, "static-fair", "e3c-fair", quick, cap),
+            run_alloc_policy(
+                AllocPolicy::Fair,
+                "static-fair",
+                "e3c-fair",
+                quick,
+                cap,
+                seed,
+            ),
             run_alloc_policy(
                 AllocPolicy::default_ramp_up(),
                 "exp ramp-up",
                 "e3c-rampup",
                 quick,
                 cap,
+                seed,
             ),
         ],
     }
@@ -538,13 +567,18 @@ pub fn run_d(quick: bool) -> E3dResult {
 /// Runs E3d, feeding telemetry into `cap`. Scenario labels: `e3d-fifo`,
 /// `e3d-voq`.
 pub fn run_d_captured(quick: bool, cap: &mut Capture) -> E3dResult {
+    run_d_captured_seeded(quick, cap, 0)
+}
+
+/// [`run_d_captured`] with a caller-supplied RNG seed salt.
+pub fn run_d_captured_seeded(quick: bool, cap: &mut Capture, seed: u64) -> E3dResult {
     let horizon = if quick {
         SimTime::from_us(200.0)
     } else {
         SimTime::from_us(800.0)
     };
     let mut run = |queueing: QueueDiscipline| -> (f64, f64) {
-        let mut engine = Engine::new(0xE3D);
+        let mut engine = Engine::new(0xE3D ^ seed);
         let slow: Box<dyn Endpoint> = Box::new(PipelinedMemory::new(
             SimTime::from_ns(4000.0),
             SimTime::from_ns(4000.0),
@@ -678,13 +712,18 @@ pub fn run_e(quick: bool) -> E3eResult {
 /// `e3e-alone` — the hog process's `credit` spans on the inter-switch
 /// ports show starvation back-propagating to the victim.
 pub fn run_e_captured(quick: bool, cap: &mut Capture) -> E3eResult {
+    run_e_captured_seeded(quick, cap, 0)
+}
+
+/// [`run_e_captured`] with a caller-supplied RNG seed salt.
+pub fn run_e_captured_seeded(quick: bool, cap: &mut Capture, seed: u64) -> E3eResult {
     let horizon = if quick {
         SimTime::from_us(200.0)
     } else {
         SimTime::from_us(800.0)
     };
     let mut run = |with_hog: bool| -> (f64, f64) {
-        let mut engine = Engine::new(0xE3E);
+        let mut engine = Engine::new(0xE3E ^ seed);
         let slow: Box<dyn Endpoint> = Box::new(PipelinedMemory::new(
             SimTime::from_ns(5000.0),
             SimTime::from_ns(5000.0),

@@ -228,11 +228,16 @@ struct Start;
 
 /// Runs E4.
 pub fn run(quick: bool) -> E4Result {
+    run_seeded(quick, 0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(quick: bool, seed: u64) -> E4Result {
     let chunks = if quick { 8 } else { 32 };
     let compute = SimTime::from_us(20.0);
     // Synchronous.
     let sync = {
-        let mut engine = Engine::new(0xE4);
+        let mut engine = Engine::new(0xE4 ^ seed);
         let topo = topology::single_switch(
             &mut engine,
             calib::topo_spec(),
@@ -264,7 +269,7 @@ pub fn run(quick: bool) -> E4Result {
     };
     // Managed.
     let managed = {
-        let mut engine = Engine::new(0xE4 + 1);
+        let mut engine = Engine::new((0xE4 + 1) ^ seed);
         // Two hosts: worker host + migration-agent host (same memory
         // domain), one far FAM + one staging device.
         let topo = topology::single_switch(

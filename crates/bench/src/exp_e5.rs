@@ -113,8 +113,13 @@ fn run_policy(
 
 /// Runs E5.
 pub fn run(quick: bool) -> E5Result {
+    run_seeded(quick, 0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(quick: bool, seed: u64) -> E5Result {
     let accesses = if quick { 20_000 } else { 200_000 };
-    let mut rng = StdRng::seed_from_u64(0xE5);
+    let mut rng = StdRng::seed_from_u64(0xE5 ^ seed);
     E5Result {
         outcomes: vec![
             run_policy("all-remote", accesses, None, &mut rng),

@@ -75,6 +75,11 @@ fn executors(n: usize) -> Vec<Executor> {
 
 /// Runs E6.
 pub fn run(quick: bool) -> E6Result {
+    run_seeded(quick, 0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(quick: bool, seed: u64) -> E6Result {
     let (width, depth) = if quick { (4, 4) } else { (8, 8) };
     let tasks = dag(width, depth, 50.0);
     let execs = executors(4);
@@ -89,7 +94,7 @@ pub fn run(quick: bool) -> E6Result {
     );
     let baseline_us = idem_rt.run(&tasks, &no_failures).makespan.as_us();
     let horizon = SimTime::from_us(baseline_us * 40.0);
-    let mut rng = StdRng::seed_from_u64(0xE6);
+    let mut rng = StdRng::seed_from_u64(0xE6 ^ seed);
     let mut points = Vec::new();
     for &mtbf_us in &[200.0, 500.0, 2000.0] {
         let schedule = FailureSchedule::draw(

@@ -44,8 +44,8 @@ impl Component for Waiter {
 }
 
 /// Measures the unloaded control-lane RTT through the client.
-fn measure_control_rtt() -> f64 {
-    let mut engine = Engine::new(0xE7);
+fn measure_control_rtt(seed: u64) -> f64 {
+    let mut engine = Engine::new(0xE7 ^ seed);
     let sink = engine.add_component("waiter", Waiter { resolved: vec![] });
     struct Nop;
     impl Component for Nop {
@@ -82,13 +82,13 @@ fn measure_control_rtt() -> f64 {
 
 /// The E3c contention scenario with `Arbitrated` switch policy and
 /// reservations installed for every flow.
-fn contended_with_reservations(quick: bool) -> (f64, f64, f64) {
+fn contended_with_reservations(quick: bool, seed: u64) -> (f64, f64, f64) {
     let horizon = if quick {
         SimTime::from_us(150.0)
     } else {
         SimTime::from_us(600.0)
     };
-    let mut engine = Engine::new(0xE7C);
+    let mut engine = Engine::new(0xE7C ^ seed);
     let spec = TopologySpec {
         switch: SwitchConfig {
             phys: PhysConfig::omega_like(),
@@ -200,12 +200,17 @@ fn contended_with_reservations(quick: bool) -> (f64, f64, f64) {
 
 /// Runs E7.
 pub fn run(quick: bool) -> E7Result {
-    let control_rtt_ns = measure_control_rtt();
+    run_seeded(quick, 0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(quick: bool, seed: u64) -> E7Result {
+    let control_rtt_ns = measure_control_rtt(seed);
     // Uncoordinated baseline: reuse E3c's ramp-up outcome.
-    let e3c = exp_e3::run_c(quick);
+    let e3c = exp_e3::run_c_seeded(quick, seed);
     let ramp = e3c.get("exp ramp-up");
     let jain_before = jain_fairness(&[ramp.hog_tput, ramp.bursty_tput, ramp.bursty_tput]);
-    let (hog, bursty, jain_after) = contended_with_reservations(quick);
+    let (hog, bursty, jain_after) = contended_with_reservations(quick, seed);
     E7Result {
         control_rtt_ns,
         uncoordinated: (ramp.hog_tput, ramp.bursty_tput),
@@ -254,7 +259,7 @@ mod tests {
 
     #[test]
     fn control_lane_rtt_matches_paper_claim() {
-        let rtt = measure_control_rtt();
+        let rtt = measure_control_rtt(0);
         assert!((rtt - 200.0).abs() < 1.0, "RTT {rtt}");
     }
 

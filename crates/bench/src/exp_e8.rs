@@ -112,8 +112,13 @@ fn faa_executors() -> Vec<Executor> {
 
 /// Runs E8.
 pub fn run(quick: bool) -> E8Result {
+    run_seeded(quick, 0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(quick: bool, seed: u64) -> E8Result {
     // Functional pass: the real DSP pipeline.
-    let mut rng = StdRng::seed_from_u64(0xE8);
+    let mut rng = StdRng::seed_from_u64(0xE8 ^ seed);
     let pipeline = UplinkPipeline::default();
     let frames = if quick { 3 } else { 10 };
     let mut errs15 = 0usize;

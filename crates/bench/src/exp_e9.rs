@@ -38,8 +38,8 @@ impl Component for Sink {
     }
 }
 
-fn run_remote(pattern: AccessPattern, window: usize) -> CoreReport {
-    let mut engine = Engine::new(0xE9);
+fn run_remote(pattern: AccessPattern, window: usize, seed: u64) -> CoreReport {
+    let mut engine = Engine::new(0xE9 ^ seed);
     let sink = engine.add_component("sink", Sink { report: None });
     let topo = topology::single_switch(
         &mut engine,
@@ -68,6 +68,11 @@ fn run_remote(pattern: AccessPattern, window: usize) -> CoreReport {
 
 /// Runs E9.
 pub fn run(quick: bool) -> E9Result {
+    run_seeded(quick, 0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(quick: bool, seed: u64) -> E9Result {
     let count = if quick { 600 } else { 4000 };
     let mut window_sweep = Vec::new();
     for &window in &[1usize, 2, 4, 8, 16, 32] {
@@ -81,6 +86,7 @@ pub fn run(quick: bool) -> E9Result {
                 warmup_passes: 0,
             },
             window,
+            seed,
         );
         window_sweep.push((window, report.mops()));
     }
@@ -96,6 +102,7 @@ pub fn run(quick: bool) -> E9Result {
                 warmup_passes: if kib <= 4096 { 1 } else { 0 },
             },
             calib::REMOTE_WINDOW,
+            seed,
         );
         ws_sweep.push((kib, report.latency.mean));
     }

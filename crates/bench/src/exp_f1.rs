@@ -44,7 +44,12 @@ impl Component for Sink {
 
 /// Runs F1.
 pub fn run() -> F1Result {
-    let mut engine = Engine::new(0xF1);
+    run_seeded(0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(seed: u64) -> F1Result {
+    let mut engine = Engine::new(0xF1 ^ seed);
     let topo = topology::figure1(&mut engine, TopologySpec::default());
     let manager = topo.manager.expect("figure1 provides a manager");
     engine.post(manager, SimTime::ZERO, StartDiscovery);

@@ -65,8 +65,8 @@ struct Rig {
     sink: ComponentId,
 }
 
-fn build() -> Rig {
-    let mut engine = Engine::new(0xD2);
+fn build(seed: u64) -> Rig {
+    let mut engine = Engine::new(0xD2 ^ seed);
     let phys = PhysConfig::omega_like();
     let credit = CreditConfig::default();
     let dir_nid = NodeId(10);
@@ -129,10 +129,15 @@ fn drain_mean(rig: &mut Rig) -> f64 {
 
 /// Runs the node-type comparison.
 pub fn run(quick: bool) -> NodeTypeResult {
+    run_seeded(quick, 0)
+}
+
+/// [`run`] with a caller-supplied RNG seed salt.
+pub fn run_seeded(quick: bool, seed: u64) -> NodeTypeResult {
     let ops = if quick { 100 } else { 500 };
     // Expander-style: raw CXL.mem reads through the FHA (no local cache).
     let expander_ns = {
-        let mut rig = build();
+        let mut rig = build(seed);
         for i in 0..ops {
             let sink = rig.sink;
             rig.engine.post(
@@ -154,7 +159,7 @@ pub fn run(quick: bool) -> NodeTypeResult {
     // CC-NUMA private: host 0 loops over a 64-line set that fits its L1.
     // One warm-up pass populates the cache; only the steady state counts.
     let ccnuma_private_ns = {
-        let mut rig = build();
+        let mut rig = build(seed);
         for warm in 0..64u64 {
             let sink = rig.sink;
             rig.engine.post(
@@ -189,7 +194,7 @@ pub fn run(quick: bool) -> NodeTypeResult {
     };
     // CC-NUMA write-shared ping-pong on one line.
     let (ccnuma_pingpong_ns, snoops) = {
-        let mut rig = build();
+        let mut rig = build(seed);
         for round in 0..ops {
             let sink = rig.sink;
             rig.engine.post(

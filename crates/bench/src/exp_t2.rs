@@ -53,21 +53,22 @@ impl Component for Sink {
 
 /// Runs one measurement: a fresh engine + topology per run so tiers don't
 /// share cache state.
-fn measure(remote: bool, pattern: AccessPattern, window: usize) -> CoreReport {
-    measure_captured(remote, pattern, window, &mut Capture::disabled(), "")
+fn measure(seed: u64, remote: bool, pattern: AccessPattern, window: usize) -> CoreReport {
+    measure_captured(seed, remote, pattern, window, &mut Capture::disabled(), "")
 }
 
 /// [`measure`] with telemetry: remote runs open a `label` scenario so
 /// the full FHA → switch → FEA → DRAM hop chain (plus the core's
 /// `cache.remote_miss` envelope) lands in the trace.
 fn measure_captured(
+    seed: u64,
     remote: bool,
     pattern: AccessPattern,
     window: usize,
     cap: &mut Capture,
     label: &str,
 ) -> CoreReport {
-    let mut engine = Engine::new(0x72 + remote as u64);
+    let mut engine = Engine::new((0x72 ^ seed) + remote as u64);
     let sink = engine.add_component("sink", Sink { report: None });
     let mut core = CpuCore::new(MemoryHierarchy::new(HierarchyConfig::omega_like()), window);
     let mut remote_topo = None;
@@ -148,15 +149,20 @@ pub fn run(quick: bool) -> T2Result {
 /// measurements become scenarios `t2-remote-{rd,wr}-{lat,tput}`; the
 /// on-chip tiers never touch the fabric and stay untraced.
 pub fn run_captured(quick: bool, cap: &mut Capture) -> T2Result {
+    run_captured_seeded(quick, cap, 0)
+}
+
+/// [`run_captured`] with a caller-supplied RNG seed salt.
+pub fn run_captured_seeded(quick: bool, cap: &mut Capture, seed: u64) -> T2Result {
     let n: u64 = if quick { 2_000 } else { 10_000 };
     let tp: u64 = if quick { 5_000 } else { 30_000 };
     let mut tiers = Vec::new();
     // L1: 16 KiB region, resident after one warmup pass.
     let l1 = (
-        measure(false, dependent(0, 16 << 10, 64, n, false, 1), 16),
-        measure(false, dependent(0, 16 << 10, 64, n, true, 1), 16),
-        measure(false, independent(0, 16 << 10, 64, tp, false, 1), 16),
-        measure(false, independent(0, 16 << 10, 64, tp, true, 1), 16),
+        measure(seed, false, dependent(0, 16 << 10, 64, n, false, 1), 16),
+        measure(seed, false, dependent(0, 16 << 10, 64, n, true, 1), 16),
+        measure(seed, false, independent(0, 16 << 10, 64, tp, false, 1), 16),
+        measure(seed, false, independent(0, 16 << 10, 64, tp, true, 1), 16),
     );
     tiers.push(Tier {
         name: "L1 Cache",
@@ -168,10 +174,10 @@ pub fn run_captured(quick: bool, cap: &mut Capture) -> T2Result {
     });
     // L2: 512 KiB region (beyond 64 KiB L1, within 1 MiB L2).
     let l2 = (
-        measure(false, dependent(0, 512 << 10, 64, n, false, 2), 16),
-        measure(false, dependent(0, 512 << 10, 64, n, true, 2), 16),
-        measure(false, independent(0, 512 << 10, 64, tp, false, 2), 16),
-        measure(false, independent(0, 512 << 10, 64, tp, true, 2), 16),
+        measure(seed, false, dependent(0, 512 << 10, 64, n, false, 2), 16),
+        measure(seed, false, dependent(0, 512 << 10, 64, n, true, 2), 16),
+        measure(seed, false, independent(0, 512 << 10, 64, tp, false, 2), 16),
+        measure(seed, false, independent(0, 512 << 10, 64, tp, true, 2), 16),
     );
     tiers.push(Tier {
         name: "L2 Cache",
@@ -183,10 +189,30 @@ pub fn run_captured(quick: bool, cap: &mut Capture) -> T2Result {
     });
     // Local memory: 16 MiB at page stride defeats both caches.
     let local = (
-        measure(false, dependent(0, 16 << 20, 4096, n / 2, false, 0), 16),
-        measure(false, dependent(0, 16 << 20, 4096, n / 2, true, 0), 16),
-        measure(false, independent(0, 16 << 20, 4096, tp / 2, false, 0), 16),
-        measure(false, independent(0, 16 << 20, 4096, tp / 2, true, 0), 16),
+        measure(
+            seed,
+            false,
+            dependent(0, 16 << 20, 4096, n / 2, false, 0),
+            16,
+        ),
+        measure(
+            seed,
+            false,
+            dependent(0, 16 << 20, 4096, n / 2, true, 0),
+            16,
+        ),
+        measure(
+            seed,
+            false,
+            independent(0, 16 << 20, 4096, tp / 2, false, 0),
+            16,
+        ),
+        measure(
+            seed,
+            false,
+            independent(0, 16 << 20, 4096, tp / 2, true, 0),
+            16,
+        ),
     );
     tiers.push(Tier {
         name: "Local Memory",
@@ -200,6 +226,7 @@ pub fn run_captured(quick: bool, cap: &mut Capture) -> T2Result {
     let rn = if quick { 300 } else { 2_000 };
     let remote = (
         measure_captured(
+            seed,
             true,
             dependent(FAM_BASE, 16 << 20, 4096, rn, false, 0),
             calib::REMOTE_WINDOW,
@@ -207,6 +234,7 @@ pub fn run_captured(quick: bool, cap: &mut Capture) -> T2Result {
             "t2-remote-rd-lat",
         ),
         measure_captured(
+            seed,
             true,
             dependent(FAM_BASE, 16 << 20, 4096, rn, true, 0),
             calib::REMOTE_WINDOW,
@@ -214,6 +242,7 @@ pub fn run_captured(quick: bool, cap: &mut Capture) -> T2Result {
             "t2-remote-wr-lat",
         ),
         measure_captured(
+            seed,
             true,
             independent(FAM_BASE, 16 << 20, 4096, rn * 2, false, 0),
             calib::REMOTE_WINDOW,
@@ -221,6 +250,7 @@ pub fn run_captured(quick: bool, cap: &mut Capture) -> T2Result {
             "t2-remote-rd-tput",
         ),
         measure_captured(
+            seed,
             true,
             independent(FAM_BASE, 16 << 20, 4096, rn * 2, true, 0),
             calib::REMOTE_WINDOW,

@@ -16,6 +16,7 @@ pub mod calib;
 pub mod capture;
 pub mod exp_abl;
 pub mod exp_e10;
+pub mod exp_e11;
 pub mod exp_e3;
 pub mod exp_e4;
 pub mod exp_e5;

@@ -145,6 +145,10 @@ pub struct TransactionEngine {
     tenants: HashMap<u32, TokenBucket>,
     inflight: HashMap<u64, (Job, usize)>,
     delayed: VecDeque<Job>,
+    /// Earliest outstanding [`Retry`] wake-up, if one is scheduled. Kept
+    /// so a queue of throttled jobs arms one timer per pacing step
+    /// instead of one per job (which would multiply per retry round).
+    retry_at: Option<SimTime>,
     next_job: u64,
     trace: Track,
     /// Completed transfers.
@@ -176,6 +180,7 @@ impl TransactionEngine {
             tenants: HashMap::new(),
             inflight: HashMap::new(),
             delayed: VecDeque::new(),
+            retry_at: None,
             next_job: 0,
             trace: Track::default(),
             completed: Counter::new(),
@@ -248,8 +253,11 @@ impl TransactionEngine {
             let now = ctx.now();
             let at = bucket.earliest(now, 0);
             if at > now {
-                ctx.send_self(at - now, Retry);
                 self.delayed.push_back(job);
+                if self.retry_at.is_none_or(|t| at < t) {
+                    self.retry_at = Some(at);
+                    ctx.send_self(at - now, Retry);
+                }
                 return;
             }
             bucket.force_consume(now, bytes);
@@ -281,7 +289,9 @@ impl Component for TransactionEngine {
         };
         let msg = match msg.downcast::<Retry>() {
             Ok(Retry) => {
-                // Re-admit queued jobs in priority order.
+                // Re-admit queued jobs in priority order. Clear the timer
+                // first: whichever job stays throttled re-arms it (once).
+                self.retry_at = None;
                 let mut queued: Vec<Job> = self.delayed.drain(..).collect();
                 queued.sort_by_key(|j| std::cmp::Reverse(j.etrans.attrs.priority));
                 for job in queued {

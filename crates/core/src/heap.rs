@@ -44,6 +44,8 @@ pub enum HeapError {
     OutOfMemory,
     /// The handle does not name a live object.
     InvalidHandle,
+    /// The node still holds live objects (offline requires an empty node).
+    NodeBusy,
 }
 
 impl std::fmt::Display for HeapError {
@@ -51,6 +53,7 @@ impl std::fmt::Display for HeapError {
         match self {
             HeapError::OutOfMemory => write!(f, "out of memory"),
             HeapError::InvalidHandle => write!(f, "invalid handle"),
+            HeapError::NodeBusy => write!(f, "node still holds live objects"),
         }
     }
 }
@@ -133,10 +136,25 @@ impl BinAllocator {
     }
 }
 
+/// Lifecycle state of a heap node (online fabric composition). Indices
+/// stay stable across the whole lifecycle: a removed node goes
+/// [`NodeState::Offline`] rather than vacating its slot, so existing
+/// handles and node indices never shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Serving allocations and accesses.
+    Active,
+    /// Being evacuated: no new allocations, existing objects still served.
+    Draining,
+    /// Detached from the fabric: no allocations, no objects.
+    Offline,
+}
+
 #[derive(Debug)]
 struct HeapNode {
     profile: MemNodeProfile,
     bins: BinAllocator,
+    state: NodeState,
 }
 
 #[derive(Debug, Clone)]
@@ -171,6 +189,38 @@ pub struct MigrationPlan {
     pub moves: Vec<Move>,
     /// Total bytes moved.
     pub bytes: u64,
+}
+
+/// One relocation decided by [`UnifiedHeap::drain`]: like [`Move`] but
+/// carrying the node-local bin addresses on both sides, so an executor
+/// (the elastic composer's eTrans jobs) can turn it into fabric reads and
+/// writes without reaching into heap internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Relocation {
+    /// The object relocated.
+    pub obj: FabricBox,
+    /// Source node index (the draining node).
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Bin address on the source node.
+    pub src_addr: u64,
+    /// Bin address on the destination node.
+    pub dst_addr: u64,
+}
+
+/// A drain outcome: relocations off the draining node (already applied to
+/// heap metadata — the data movement itself is the caller's job) plus any
+/// objects no target could admit.
+#[derive(Debug, Clone, Default)]
+pub struct EvacuationPlan {
+    /// Relocations, deterministic (object-id) order.
+    pub moves: Vec<Relocation>,
+    /// Total bytes to move.
+    pub bytes: u64,
+    /// Objects left stranded on the draining node (no admissible target
+    /// with room). A non-empty list means the node cannot go offline.
+    pub stranded: Vec<FabricBox>,
 }
 
 /// The unified heap.
@@ -225,6 +275,7 @@ impl UnifiedHeap {
                 .map(|cfg| HeapNode {
                     profile: cfg.profile,
                     bins: BinAllocator::new(cfg.profile.capacity),
+                    state: NodeState::Active,
                 })
                 .collect(),
             objects: HashMap::new(),
@@ -238,6 +289,67 @@ impl UnifiedHeap {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Contributes a new node to a live heap (hot-add), returning its
+    /// index. The node starts [`NodeState::Active`].
+    pub fn add_node(&mut self, cfg: HeapNodeCfg) -> usize {
+        self.nodes.push(HeapNode {
+            profile: cfg.profile,
+            bins: BinAllocator::new(cfg.profile.capacity),
+            state: NodeState::Active,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// The lifecycle state of node `idx`.
+    pub fn node_state(&self, idx: usize) -> NodeState {
+        self.nodes[idx].state
+    }
+
+    /// Marks node `idx` draining: existing objects stay served, but the
+    /// allocator and rebalancer stop targeting it. (Usually done through
+    /// [`UnifiedHeap::drain`], which also plans the evacuation.)
+    pub fn set_draining(&mut self, idx: usize) {
+        self.nodes[idx].state = NodeState::Draining;
+    }
+
+    /// Takes an evacuated node offline. Fails with
+    /// [`HeapError::NodeBusy`] while any live object remains on it.
+    pub fn set_offline(&mut self, idx: usize) -> Result<(), HeapError> {
+        if self.objects.values().any(|m| m.node == idx) {
+            return Err(HeapError::NodeBusy);
+        }
+        let node = &mut self.nodes[idx];
+        node.state = NodeState::Offline;
+        node.bins = BinAllocator::new(node.profile.capacity);
+        Ok(())
+    }
+
+    /// Returns node `idx` to service (re-add of a drained or offline
+    /// node, or cancellation of a drain).
+    pub fn set_online(&mut self, idx: usize) {
+        self.nodes[idx].state = NodeState::Active;
+    }
+
+    /// Live objects currently resident on node `idx` (object-id order).
+    pub fn objects_on(&self, idx: usize) -> Vec<FabricBox> {
+        let mut v: Vec<FabricBox> = self
+            .objects
+            .iter()
+            .filter(|(_, m)| m.node == idx)
+            .map(|(&id, m)| FabricBox { id, size: m.size })
+            .collect();
+        v.sort_by_key(|b| b.id);
+        v
+    }
+
+    /// The (node, bin-address) an object currently resolves to.
+    pub fn locate(&self, obj: FabricBox) -> Result<(usize, u64), HeapError> {
+        self.objects
+            .get(&obj.id)
+            .map(|m| (m.node, m.addr))
+            .ok_or(HeapError::InvalidHandle)
     }
 
     /// Bytes in use on a node.
@@ -286,6 +398,11 @@ impl UnifiedHeap {
         };
         for node in order {
             if node >= self.nodes.len() {
+                continue;
+            }
+            // Draining/offline nodes take no new allocations — the first
+            // step of hot-remove is exactly this refusal.
+            if self.nodes[node].state != NodeState::Active {
                 continue;
             }
             if let Some(addr) = self.nodes[node].bins.alloc(size) {
@@ -384,8 +501,10 @@ impl UnifiedHeap {
     /// fastest tiers *they are allowed on*, respecting capacity, sharing
     /// semantics and pinning; temperatures decay.
     pub fn rebalance(&mut self) -> MigrationPlan {
-        // Rank nodes fast → slow.
-        let mut tiers: Vec<usize> = (0..self.nodes.len()).collect();
+        // Rank nodes fast → slow; only active nodes may receive objects.
+        let mut tiers: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].state == NodeState::Active)
+            .collect();
         tiers.sort_by(|&a, &b| {
             self.nodes[a]
                 .profile
@@ -462,6 +581,79 @@ impl UnifiedHeap {
         for meta in self.objects.values_mut() {
             meta.temp *= self.decay;
         }
+        plan
+    }
+
+    /// Marks node `idx` draining and plans the evacuation of every live
+    /// object on it into `targets` (fastest admissible active target
+    /// first), applying the moves to heap metadata immediately — the data
+    /// movement itself is the caller's job (eTrans). Pinned objects move
+    /// too (their node is leaving) and lose their pin.
+    ///
+    /// Objects no target can admit are returned in
+    /// [`EvacuationPlan::stranded`] and stay on the draining node.
+    pub fn drain(&mut self, idx: usize, targets: &[usize]) -> EvacuationPlan {
+        self.nodes[idx].state = NodeState::Draining;
+        let mut order: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&t| {
+                t != idx && t < self.nodes.len() && self.nodes[t].state == NodeState::Active
+            })
+            .collect();
+        order.sort_by(|&a, &b| {
+            self.nodes[a]
+                .profile
+                .read_latency
+                .cmp(&self.nodes[b].profile.read_latency)
+        });
+        let mut ids: Vec<u64> = self
+            .objects
+            .iter()
+            .filter(|(_, m)| m.node == idx)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        let mut plan = EvacuationPlan::default();
+        for id in ids {
+            // Ids were just collected from `objects`.
+            #[allow(clippy::expect_used)]
+            let meta = self.objects.get(&id).expect("collected from objects");
+            let (size, src_addr) = (meta.size, meta.addr);
+            let shared = meta.sharers.count_ones() > 1;
+            let write_shared = shared && meta.writes > 0;
+            let mut placed = None;
+            for &t in &order {
+                if !self.node_admits(t, shared, write_shared) {
+                    continue;
+                }
+                if let Some(dst_addr) = self.nodes[t].bins.alloc(size) {
+                    placed = Some((t, dst_addr));
+                    break;
+                }
+            }
+            let Some((to, dst_addr)) = placed else {
+                plan.stranded.push(FabricBox { id, size });
+                continue;
+            };
+            self.nodes[idx].bins.release(src_addr, size);
+            // Present: looked up above.
+            #[allow(clippy::expect_used)]
+            let meta = self.objects.get_mut(&id).expect("present");
+            meta.node = to;
+            meta.addr = dst_addr;
+            meta.pinned = false;
+            plan.moves.push(Relocation {
+                obj: FabricBox { id, size },
+                from: idx,
+                to,
+                src_addr,
+                dst_addr,
+            });
+            plan.bytes += size;
+        }
+        self.migrations += plan.moves.len() as u64;
+        self.bytes_migrated += plan.bytes;
         plan
     }
 
@@ -662,6 +854,89 @@ mod tests {
         h.access(o, 1, false).expect("second host touches");
         let shared = h.access(o, 0, true).expect("live");
         assert!(shared > single, "{single} vs {shared}");
+    }
+
+    #[test]
+    fn draining_node_refuses_new_allocations() {
+        let mut h = two_tier(1 << 20, 1 << 20);
+        h.set_draining(1);
+        let b = h.alloc(4096, PlacementHint::Auto).expect("fits");
+        assert_eq!(h.node_of(b).expect("live"), 0, "drained tier skipped");
+        assert_eq!(
+            h.alloc(4096, PlacementHint::Pinned(1))
+                .expect_err("refused"),
+            HeapError::OutOfMemory
+        );
+    }
+
+    #[test]
+    fn drain_relocates_everything_with_addresses() {
+        let mut h = two_tier(1 << 20, 1 << 20);
+        let a = h.alloc(4096, PlacementHint::Auto).expect("fits");
+        let b = h.alloc(256, PlacementHint::Pinned(1)).expect("fits");
+        let plan = h.drain(1, &[0]);
+        assert_eq!(plan.moves.len(), 2);
+        assert!(plan.stranded.is_empty());
+        assert_eq!(plan.bytes, 4096 + 256);
+        for m in &plan.moves {
+            assert_eq!(m.from, 1);
+            assert_eq!(m.to, 0);
+        }
+        assert_eq!(h.node_of(a).expect("live"), 0);
+        assert_eq!(h.node_of(b).expect("live"), 0, "pins don't survive drain");
+        assert_eq!(h.node_state(1), NodeState::Draining);
+        h.set_offline(1).expect("empty after drain");
+        assert_eq!(h.node_state(1), NodeState::Offline);
+    }
+
+    #[test]
+    fn drain_strands_what_no_target_admits() {
+        // Target tier fits a single 4 KiB class.
+        let mut h = two_tier(4096, 1 << 20);
+        let a = h.alloc(4096, PlacementHint::Auto).expect("fits");
+        let b = h.alloc(4096, PlacementHint::Auto).expect("fits");
+        let plan = h.drain(1, &[0]);
+        assert_eq!(plan.moves.len(), 1);
+        assert_eq!(plan.stranded.len(), 1);
+        assert_eq!(
+            h.set_offline(1).expect_err("stranded object"),
+            HeapError::NodeBusy
+        );
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn offline_node_rejoins_via_set_online() {
+        let mut h = two_tier(1 << 20, 1 << 20);
+        h.drain(1, &[0]);
+        h.set_offline(1).expect("empty");
+        h.set_online(1);
+        let b = h.alloc(4096, PlacementHint::Auto).expect("fits");
+        assert_eq!(h.node_of(b).expect("live"), 1, "rejoined cold tier");
+    }
+
+    #[test]
+    fn hot_add_extends_a_live_heap() {
+        let mut h = two_tier(1 << 20, 1 << 20);
+        let idx = h.add_node(HeapNodeCfg {
+            profile: MemNodeProfile::omega_like(MemNodeKind::CpulessNuma, 1 << 20),
+        });
+        assert_eq!(idx, 2);
+        assert_eq!(h.node_state(idx), NodeState::Active);
+        assert_eq!(h.node_count(), 3);
+    }
+
+    #[test]
+    fn rebalance_never_targets_a_draining_node() {
+        let mut h = two_tier(1 << 20, 1 << 20);
+        let hot = h.alloc(4096, PlacementHint::Auto).expect("fits");
+        for _ in 0..100 {
+            h.access(hot, 0, false).expect("live");
+        }
+        h.set_draining(0);
+        let plan = h.rebalance();
+        assert!(plan.moves.is_empty(), "only target tier is draining");
+        assert_eq!(h.node_of(hot).expect("live"), 1);
     }
 
     proptest! {

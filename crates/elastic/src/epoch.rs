@@ -1,0 +1,170 @@
+//! The epoch-based two-phase reconfiguration protocol, as a pure plan.
+//!
+//! Online composition changes the fabric's routing state while traffic is
+//! in flight. The switch data plane ([`fcc_fabric::switch`]) drops any
+//! flit it cannot route, so the *order* of control-plane steps is the
+//! whole safety argument:
+//!
+//! * **Hot-add** is two-phase: epoch N installs the new node's routes on
+//!   every switch; only after they have landed does epoch N+1 announce
+//!   the node (map its range at the FHAs, open the heap node). No flit
+//!   can target the node before its routes exist.
+//! * **Hot-remove** is the mirror image: epoch N retracts the node (heap
+//!   stops allocating, evacuation begins); routes are pruned only behind
+//!   a *quiescence guard* — the ledger-verified condition that no flit
+//!   to or from the node is in flight — and the port detaches last.
+//!
+//! The steps are modeled here as plain data so the runtime composer
+//! ([`crate::composer`]) and the `fcc-verify` reconfiguration model
+//! checker consume the *same* plan: the checker explores every
+//! interleaving of plan steps against in-flight traffic and proves no
+//! flit is dropped or misrouted; the composer executes the steps against
+//! the simulated fabric.
+
+/// One control-plane step of a reconfiguration plan. Plans are per-node:
+/// the node being added or removed is implicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateStep {
+    /// Install the node's route on switch `switch`.
+    InstallRoute {
+        /// Switch index.
+        switch: usize,
+    },
+    /// Announce the node: FHAs learn its address range and the heap node
+    /// opens. Traffic toward the node may start after this step.
+    Announce,
+    /// Retract the node: the heap stops allocating on it and initiators
+    /// stop issuing *new* traffic toward it. In-flight flits remain.
+    Retract,
+    /// Prune the node's route from switch `switch`. With
+    /// `require_quiescent`, the step only fires once no flit to or from
+    /// the node is in flight (the ledger-verified drain condition);
+    /// without it, the prune races in-flight traffic.
+    PruneRoute {
+        /// Switch index.
+        switch: usize,
+        /// Gate the prune on fabric quiescence for the node.
+        require_quiescent: bool,
+    },
+    /// Physically detach the node's port.
+    Detach,
+}
+
+/// An ordered reconfiguration plan for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigPlan {
+    /// Steps in issue order. Steps may still interleave with data-plane
+    /// traffic; the model checker explores those interleavings.
+    pub steps: Vec<UpdateStep>,
+}
+
+impl ReconfigPlan {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The safe hot-add plan over `n_switches` switches: routes first
+/// (epoch N), announce last (epoch N+1).
+pub fn hot_add_plan(n_switches: usize) -> ReconfigPlan {
+    let mut steps: Vec<UpdateStep> = (0..n_switches)
+        .map(|switch| UpdateStep::InstallRoute { switch })
+        .collect();
+    steps.push(UpdateStep::Announce);
+    ReconfigPlan { steps }
+}
+
+/// The broken hot-add: announce before the routes land. Traffic admitted
+/// in the window between the announce and a late install is dropped as
+/// unroutable — the counterexample the model checker finds.
+pub fn hot_add_naive(n_switches: usize) -> ReconfigPlan {
+    let mut steps = vec![UpdateStep::Announce];
+    steps.extend((0..n_switches).map(|switch| UpdateStep::InstallRoute { switch }));
+    ReconfigPlan { steps }
+}
+
+/// The safe hot-remove plan: retract first (no new traffic), prune each
+/// switch only at quiescence, detach last.
+pub fn hot_remove_plan(n_switches: usize) -> ReconfigPlan {
+    let mut steps = vec![UpdateStep::Retract];
+    steps.extend((0..n_switches).map(|switch| UpdateStep::PruneRoute {
+        switch,
+        require_quiescent: true,
+    }));
+    steps.push(UpdateStep::Detach);
+    ReconfigPlan { steps }
+}
+
+/// The broken hot-remove (the "naive yank"): no retraction and no
+/// quiescence guard — routes vanish under in-flight flits.
+pub fn hot_remove_naive(n_switches: usize) -> ReconfigPlan {
+    let mut steps: Vec<UpdateStep> = (0..n_switches)
+        .map(|switch| UpdateStep::PruneRoute {
+            switch,
+            require_quiescent: false,
+        })
+        .collect();
+    steps.push(UpdateStep::Detach);
+    ReconfigPlan { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_add_installs_every_route_before_announcing() {
+        let plan = hot_add_plan(3);
+        let announce = plan
+            .steps
+            .iter()
+            .position(|s| *s == UpdateStep::Announce)
+            .expect("announce present");
+        let last_install = plan
+            .steps
+            .iter()
+            .rposition(|s| matches!(s, UpdateStep::InstallRoute { .. }))
+            .expect("installs present");
+        assert!(last_install < announce);
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn naive_add_announces_first() {
+        let plan = hot_add_naive(2);
+        assert_eq!(plan.steps[0], UpdateStep::Announce);
+    }
+
+    #[test]
+    fn safe_remove_retracts_then_prunes_guarded() {
+        let plan = hot_remove_plan(2);
+        assert_eq!(plan.steps[0], UpdateStep::Retract);
+        assert!(plan.steps.iter().all(|s| !matches!(
+            s,
+            UpdateStep::PruneRoute {
+                require_quiescent: false,
+                ..
+            }
+        )));
+        assert_eq!(plan.steps.last(), Some(&UpdateStep::Detach));
+    }
+
+    #[test]
+    fn naive_remove_never_retracts_or_guards() {
+        let plan = hot_remove_naive(2);
+        assert!(!plan.steps.contains(&UpdateStep::Retract));
+        assert!(plan.steps.iter().any(|s| matches!(
+            s,
+            UpdateStep::PruneRoute {
+                require_quiescent: false,
+                ..
+            }
+        )));
+    }
+}

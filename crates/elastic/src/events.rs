@@ -1,0 +1,125 @@
+//! The reconfiguration event log.
+//!
+//! Every epoch transition of the composer is recorded as a
+//! [`ReconfigEvent`] and (when tracing is on) emitted as a Perfetto
+//! instant on the `reconfig` track, so a trace of a churn run shows the
+//! add/drain/detach lifecycle against the data-plane spans.
+
+use fcc_proto::addr::NodeId;
+use fcc_sim::SimTime;
+
+/// What a reconfiguration epoch transition did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigKind {
+    /// Hot-add phase 1: the node is attached and its routes are being
+    /// installed; it is not yet announced.
+    AddStarted,
+    /// Hot-add phase 2: routes have settled, FHAs learned the mapping,
+    /// the heap node opened for allocation.
+    NodeAnnounced,
+    /// A planned drain began: the heap node stopped allocating and its
+    /// evacuation jobs were submitted.
+    DrainStarted,
+    /// A power-domain failure triggered the drain path.
+    FailureDrain,
+    /// Every evacuation job for the node completed.
+    EvacuationComplete,
+    /// The node passed the quiescence checks, its routes were pruned, its
+    /// credits reclaimed, and its port detached.
+    NodeDetached,
+    /// The node was yanked with no drain and no quiescence guard (the
+    /// failure-mode baseline E11 measures against).
+    NodeYanked,
+}
+
+impl std::fmt::Display for ReconfigKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReconfigKind::AddStarted => "add-started",
+            ReconfigKind::NodeAnnounced => "announced",
+            ReconfigKind::DrainStarted => "drain-started",
+            ReconfigKind::FailureDrain => "failure-drain",
+            ReconfigKind::EvacuationComplete => "evacuated",
+            ReconfigKind::NodeDetached => "detached",
+            ReconfigKind::NodeYanked => "yanked",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One epoch transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigEvent {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// The epoch that began with this transition.
+    pub epoch: u64,
+    /// The fabric node the transition concerns.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: ReconfigKind,
+}
+
+/// The append-only reconfiguration log.
+#[derive(Debug, Default, Clone)]
+pub struct ReconfigLog {
+    events: Vec<ReconfigEvent>,
+}
+
+impl ReconfigLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ReconfigLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: ReconfigEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in append (= time) order.
+    pub fn events(&self) -> &[ReconfigEvent] {
+        &self.events
+    }
+
+    /// Events of one kind.
+    pub fn count_of(&self, kind: ReconfigKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// The most recent event for `node`, if any.
+    pub fn last_for(&self, node: NodeId) -> Option<&ReconfigEvent> {
+        self.events.iter().rev().find(|e| e.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_preserves_order_and_counts() {
+        let mut log = ReconfigLog::new();
+        for (i, kind) in [
+            ReconfigKind::AddStarted,
+            ReconfigKind::NodeAnnounced,
+            ReconfigKind::DrainStarted,
+            ReconfigKind::NodeDetached,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            log.push(ReconfigEvent {
+                at: SimTime::from_ns(i as f64),
+                epoch: i as u64 + 1,
+                node: NodeId(7),
+                kind,
+            });
+        }
+        assert_eq!(log.events().len(), 4);
+        assert_eq!(log.count_of(ReconfigKind::DrainStarted), 1);
+        let last = log.last_for(NodeId(7)).expect("events for node 7");
+        assert_eq!(last.kind, ReconfigKind::NodeDetached);
+        assert!(log.last_for(NodeId(9)).is_none());
+    }
+}

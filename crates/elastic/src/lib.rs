@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Online fabric composition for FCC: hot-add, drain + hot-remove, and
+//! failure-triggered evacuation.
+//!
+//! The paper's composable infrastructure is not static: chassis join the
+//! fabric, age out, and fail in their own power domains (§3 D#5). This
+//! crate grows the simulated runtime with the control plane for that
+//! churn:
+//!
+//! * [`epoch`] — the epoch-based two-phase routing-update protocol as
+//!   pure plan data, shared with the `fcc-verify` model checker.
+//! * [`composer`] — [`composer::ElasticCluster`], the runtime executing
+//!   hot-add (routes before announce), managed drain + detach (evacuate,
+//!   verify quiescence, reclaim credits, unplug), failure-triggered
+//!   drains, and the deliberately broken naive yank.
+//! * [`store`] — byte-accurate shadow images of heap objects, so data
+//!   loss under churn is measurable, not hypothetical.
+//! * [`events`] — the reconfiguration event log mirrored into Perfetto
+//!   trace instants.
+//! * [`loadgen`] — a closed-loop Zipf load generator that resolves every
+//!   access through the live heap, used by the E11 churn experiment.
+
+pub mod composer;
+pub mod epoch;
+pub mod events;
+pub mod loadgen;
+pub mod store;
+
+pub use composer::{ClusterState, DrainReason, ElasticCluster, EVAC_TENANT};
+pub use epoch::{
+    hot_add_naive, hot_add_plan, hot_remove_naive, hot_remove_plan, ReconfigPlan, UpdateStep,
+};
+pub use events::{ReconfigEvent, ReconfigKind, ReconfigLog};
+pub use loadgen::{HeapLoadGen, StartLoad};
+pub use store::ShadowStore;

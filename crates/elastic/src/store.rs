@@ -1,0 +1,160 @@
+//! The shadow content store: byte-accurate object contents for churn
+//! experiments.
+//!
+//! The simulated memory devices are analytic — they model *timing*, not
+//! bytes. To make data loss observable (the whole point of comparing a
+//! managed drain against a naive yank), the store keeps a deterministic
+//! byte image per live [`FabricBox`]. A managed drain relocates an
+//! object's placement but never touches its image; a yank destroys the
+//! images of every object still resident on the yanked node. Checksums
+//! before and after a churn cycle prove byte-identical survival.
+
+use std::collections::HashMap;
+
+use fcc_core::heap::FabricBox;
+
+/// FNV-1a over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 step, used to fill deterministic content.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-object byte images keyed by heap handle.
+#[derive(Debug, Default, Clone)]
+pub struct ShadowStore {
+    data: HashMap<FabricBox, Vec<u8>>,
+}
+
+impl ShadowStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ShadowStore::default()
+    }
+
+    /// Fills `obj` with `obj.size()` deterministic bytes derived from
+    /// `seed` (same seed ⇒ same image).
+    pub fn insert(&mut self, obj: FabricBox, seed: u64) {
+        let mut state = seed;
+        let mut bytes = Vec::with_capacity(obj.size() as usize);
+        while bytes.len() < obj.size() as usize {
+            let word = splitmix64(&mut state).to_le_bytes();
+            let take = (obj.size() as usize - bytes.len()).min(8);
+            bytes.extend_from_slice(&word[..take]);
+        }
+        self.data.insert(obj, bytes);
+    }
+
+    /// The object's image, if it survives.
+    pub fn get(&self, obj: FabricBox) -> Option<&[u8]> {
+        self.data.get(&obj).map(Vec::as_slice)
+    }
+
+    /// Whether the object's image survives.
+    pub fn contains(&self, obj: FabricBox) -> bool {
+        self.data.contains_key(&obj)
+    }
+
+    /// Removes one image (object freed).
+    pub fn remove(&mut self, obj: FabricBox) -> bool {
+        self.data.remove(&obj).is_some()
+    }
+
+    /// Destroys the images of `objs` (what a yank does to a node's
+    /// residents); returns how many were lost.
+    pub fn destroy(&mut self, objs: &[FabricBox]) -> usize {
+        objs.iter()
+            .filter(|&&o| self.data.remove(&o).is_some())
+            .count()
+    }
+
+    /// Number of live images.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// FNV-1a checksum of one object's image.
+    pub fn checksum(&self, obj: FabricBox) -> Option<u64> {
+        self.data.get(&obj).map(|b| fnv1a(b))
+    }
+
+    /// Checksums of every live image (for before/after comparison).
+    pub fn checksums(&self) -> HashMap<FabricBox, u64> {
+        self.data.iter().map(|(&o, b)| (o, fnv1a(b))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fcc_core::heap::{HeapNodeCfg, PlacementHint, UnifiedHeap};
+    use fcc_memnode::profile::{MemNodeKind, MemNodeProfile};
+
+    use super::*;
+
+    fn boxes(n: usize, size: u64) -> Vec<FabricBox> {
+        let mut heap = UnifiedHeap::new(vec![HeapNodeCfg {
+            profile: MemNodeProfile::omega_like(MemNodeKind::CpulessNuma, 1 << 24),
+        }]);
+        (0..n)
+            .map(|_| heap.alloc(size, PlacementHint::Auto).expect("fits"))
+            .collect()
+    }
+
+    #[test]
+    fn content_is_deterministic_per_seed() {
+        let objs = boxes(2, 4096);
+        let mut a = ShadowStore::new();
+        let mut b = ShadowStore::new();
+        a.insert(objs[0], 42);
+        b.insert(objs[0], 42);
+        assert_eq!(a.checksum(objs[0]), b.checksum(objs[0]));
+        b.insert(objs[1], 43);
+        assert_ne!(b.checksum(objs[0]), b.checksum(objs[1]));
+        assert_eq!(a.get(objs[0]).expect("live").len(), 4096);
+    }
+
+    #[test]
+    fn destroy_loses_exactly_the_residents() {
+        let objs = boxes(3, 256);
+        let mut s = ShadowStore::new();
+        for (i, &o) in objs.iter().enumerate() {
+            s.insert(o, i as u64);
+        }
+        let before = s.checksums();
+        assert_eq!(s.destroy(&objs[..2]), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(objs[2]));
+        assert_eq!(
+            s.checksum(objs[2]),
+            before.get(&objs[2]).copied(),
+            "survivor is byte-identical"
+        );
+        // Destroying again finds nothing.
+        assert_eq!(s.destroy(&objs[..2]), 0);
+    }
+
+    #[test]
+    fn odd_sizes_fill_exactly() {
+        let objs = boxes(1, 100);
+        let mut s = ShadowStore::new();
+        s.insert(objs[0], 7);
+        assert_eq!(s.get(objs[0]).expect("live").len(), 100);
+    }
+}

@@ -131,6 +131,19 @@ pub struct SnoopReply {
     pub txn: Transaction,
 }
 
+/// Extends an [`Fha`]'s decode window with a newly composed fabric range
+/// (from the elastic composer's hot-add commit phase). Sent only *after*
+/// the switches' PBR routes for the range's node have landed — announcing
+/// a range before its routes exist would turn the first request into an
+/// unroutable drop.
+#[derive(Debug, Clone, Copy)]
+pub struct InstallMapping {
+    /// The host-physical range being announced.
+    pub range: fcc_proto::addr::AddrRange,
+    /// The fabric node backing it.
+    pub node: NodeId,
+}
+
 /// Identification probe from the fabric manager.
 #[derive(Debug, Clone, Copy)]
 pub struct IdentifyReq {
@@ -250,6 +263,16 @@ impl Fha {
     /// end-to-end RTT spans (`rtt-<op><size>`) keyed by transaction id.
     pub fn set_trace(&mut self, track: Track) {
         self.trace = track;
+    }
+
+    /// Extends the adapter's decode window: `range` now reaches `node`.
+    /// Idempotent — re-announcing an already-decoded range (a re-added
+    /// node reusing its old window) is a no-op.
+    pub fn add_mapping(&mut self, range: fcc_proto::addr::AddrRange, node: NodeId) {
+        if self.addr_map.decode(range.base).is_some() {
+            return;
+        }
+        self.addr_map.add_direct(range, node);
     }
 
     /// Requests currently in flight.
@@ -472,6 +495,13 @@ impl Component for Fha {
             }
             Err(m) => m,
         };
+        let msg = match msg.downcast::<InstallMapping>() {
+            Ok(im) => {
+                self.add_mapping(im.range, im.node);
+                return;
+            }
+            Err(m) => m,
+        };
         match msg.downcast::<IdentifyReq>() {
             Ok(req) => {
                 let rsp = IdentifyRsp {
@@ -605,6 +635,19 @@ impl Fea {
     /// and device-service spans keyed by transaction id.
     pub fn set_trace(&mut self, track: Track) {
         self.trace = track;
+    }
+
+    /// Whether the adapter has fully drained: nothing in device service,
+    /// nothing parked awaiting admission, no partial reassemblies, and no
+    /// response payloads awaiting tx credit. Combined with the device's
+    /// own [`Endpoint::is_idle`], this is the endpoint half of the
+    /// quiescence check that gates hot-remove.
+    pub fn is_quiescent(&self, now: SimTime) -> bool {
+        self.in_service == 0
+            && self.waiting.is_empty()
+            && self.reassembly.is_empty()
+            && self.port.pending_len() == 0
+            && self.device.is_idle(now)
     }
 
     /// Immutable access to the device.

@@ -140,6 +140,19 @@ impl RampUpState {
         &self.alloc
     }
 
+    /// Releases input `i`'s ramp history on detach: its desired
+    /// allocation drops to the floor and the pool is re-granted, so a
+    /// departed port's grown share returns to the contenders instead of
+    /// decaying over log(ceiling) windows.
+    pub fn release_input(&mut self, i: usize) {
+        if i >= self.desired.len() {
+            return;
+        }
+        self.desired[i] = self.floor;
+        self.used[i] = 0;
+        self.grant();
+    }
+
     /// Checks the allocator's own conservation invariants, returning a
     /// description of the first violated one:
     ///
@@ -251,6 +264,23 @@ mod tests {
             s.rollover();
         }
         assert_eq!(s.allocations()[0], 2);
+    }
+
+    #[test]
+    fn release_returns_hot_share_to_the_pool() {
+        let mut s = RampUpState::new(2, 2, 64, 64);
+        for _ in 0..8 {
+            while s.may_send(0) {
+                s.on_send(0);
+            }
+            s.rollover();
+        }
+        assert!(s.allocations()[0] >= 60);
+        // Input 0 detaches; its share returns immediately, and the audit
+        // invariants survive the re-grant.
+        s.release_input(0);
+        assert!(s.audit().is_ok(), "{:?}", s.audit());
+        assert!(s.allocations()[0] <= 2, "released input back at floor");
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub trait Endpoint: 'static {
         0
     }
 
+    /// Whether the device's internal machinery (banks, buses, admission
+    /// pipelines) has fully drained by `now`. The elastic composer's
+    /// hot-remove path polls this through [`crate::adapter::Fea`] before
+    /// detaching a node. Stateless devices keep the default.
+    fn is_idle(&self, now: SimTime) -> bool {
+        let _ = now;
+        true
+    }
+
     /// Attaches a telemetry track for device-internal spans (bank/row
     /// activity, media scheduling). Devices without internal structure
     /// worth tracing keep the default no-op.
@@ -149,6 +158,10 @@ impl Endpoint for FixedLatencyMemory {
     fn capacity(&self) -> u64 {
         self.capacity
     }
+
+    fn is_idle(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
 }
 
 /// A pipelined memory device: fixed access latency, but overlapping
@@ -236,6 +249,10 @@ impl Endpoint for PipelinedMemory {
 
     fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    fn is_idle(&self, now: SimTime) -> bool {
+        self.next_admit <= now
     }
 }
 

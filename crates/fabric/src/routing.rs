@@ -87,6 +87,16 @@ impl RoutingTable {
         self.hbr.get(domain).map(|v| v.as_slice())
     }
 
+    /// Removes every PBR route (and the domain record) for `dst`; returns
+    /// whether an entry existed. Hot-remove prunes with this only after
+    /// the node has quiesced — pruning a live destination turns its
+    /// in-flight flits into unroutable drops at [`crate::switch`] admit.
+    pub fn remove_pbr(&mut self, dst: NodeId) -> bool {
+        let existed = self.pbr.remove(&dst).is_some();
+        self.domain_of.remove(&dst);
+        existed
+    }
+
     /// Number of installed PBR entries.
     pub fn pbr_entries(&self) -> usize {
         self.pbr.len()
@@ -150,6 +160,26 @@ mod tests {
     fn oversized_node_id_rejected() {
         let mut rt = RoutingTable::new(DomainId(0));
         rt.add_pbr(NodeId(4096), 0);
+    }
+
+    #[test]
+    fn remove_pbr_forgets_all_alternates() {
+        let mut rt = RoutingTable::new(DomainId(0));
+        rt.add_pbr(NodeId(7), 1);
+        rt.add_pbr(NodeId(7), 3);
+        assert!(rt.remove_pbr(NodeId(7)));
+        assert_eq!(rt.route(NodeId(7)), None);
+        assert_eq!(rt.pbr_entries(), 0);
+        assert!(!rt.remove_pbr(NodeId(7)));
+    }
+
+    #[test]
+    fn remove_then_reinstall_routes_again() {
+        let mut rt = RoutingTable::new(DomainId(0));
+        rt.add_pbr(NodeId(2), 4);
+        rt.remove_pbr(NodeId(2));
+        rt.add_pbr(NodeId(2), 5);
+        assert_eq!(rt.route(NodeId(2)), Some(&[5][..]));
     }
 
     #[test]

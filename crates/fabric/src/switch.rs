@@ -97,6 +97,14 @@ pub struct InstallPbrRoute {
     pub port: usize,
 }
 
+/// Prunes every PBR route toward a node (from the fabric manager or the
+/// elastic composer, once the node has quiesced).
+#[derive(Debug, Clone, Copy)]
+pub struct RemovePbrRoute {
+    /// Destination node whose routes are withdrawn.
+    pub dst: NodeId,
+}
+
 /// Installs an HBR route (from the fabric manager).
 #[derive(Debug, Clone, Copy)]
 pub struct InstallHbrRoute {
@@ -252,6 +260,58 @@ impl FabricSwitch {
     /// Number of ports.
     pub fn port_count(&self) -> usize {
         self.ports.len()
+    }
+
+    /// Drops every rate reservation whose flow touches `node` and returns
+    /// how many were reclaimed. Part of drain: the arbiter's bandwidth
+    /// shares for a departing node go back to the unreserved pool.
+    pub fn reclaim_flows(&mut self, node: NodeId) -> usize {
+        let before = self.flows.len();
+        self.flows.retain(|f, _| f.src != node && f.dst != node);
+        before - self.flows.len()
+    }
+
+    /// Detaches `port` at quiescence: verifies no flit is queued at or
+    /// toward the port, nothing awaits tx credit, and the port's
+    /// link-layer credit ledger balances, then forgets the peer binding
+    /// (releasing any ramp-up allocation the input held). Routes through
+    /// the port must be pruned first — see [`RemovePbrRoute`]. Returns
+    /// the detached peer.
+    pub fn detach_port(&mut self, port: usize) -> Result<ComponentId, String> {
+        if port >= self.ports.len() {
+            return Err(format!("port {port} out of range"));
+        }
+        if !self.fifo[port].is_empty() {
+            return Err(format!(
+                "port {port}: {} flit(s) queued",
+                self.fifo[port].len()
+            ));
+        }
+        let inbound: usize = self.voq[port].iter().map(|q| q.len()).sum();
+        let outbound: usize = self.voq.iter().map(|row| row[port].len()).sum();
+        if inbound + outbound > 0 {
+            return Err(format!(
+                "port {port}: {inbound} flit(s) from it, {outbound} toward it"
+            ));
+        }
+        if self.ports[port].pending_len() > 0 {
+            return Err(format!(
+                "port {port}: {} payload(s) awaiting tx credit",
+                self.ports[port].pending_len()
+            ));
+        }
+        self.ports[port]
+            .link
+            .audit()
+            .map_err(|e| format!("port {port} ledger: {e}"))?;
+        let peer = self.ports[port]
+            .peer_opt()
+            .ok_or_else(|| format!("port {port} already detached"))?;
+        for state in self.ramp.iter_mut().flatten() {
+            state.release_input(port);
+        }
+        self.peer_to_port.remove(&peer);
+        Ok(peer)
     }
 
     /// Access to a port (probes).
@@ -724,6 +784,13 @@ impl Component for FabricSwitch {
         let msg = match msg.downcast::<InstallPbrRoute>() {
             Ok(r) => {
                 self.routing.add_pbr(r.dst, r.port);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RemovePbrRoute>() {
+            Ok(r) => {
+                self.routing.remove_pbr(r.dst);
                 return;
             }
             Err(m) => m,

@@ -91,6 +91,16 @@ impl DramDevice {
         }
     }
 
+    /// The time at which every bank and the data bus are free: the
+    /// device's quiesce point for hot-remove (drain hooks poll
+    /// [`Endpoint::is_idle`], which compares this against `now`).
+    pub fn idle_at(&self) -> SimTime {
+        self.banks
+            .iter()
+            .map(|b| b.busy_until)
+            .fold(self.bus_free_at, SimTime::max)
+    }
+
     /// Row-buffer hit rate so far (0 when idle).
     pub fn hit_rate(&self) -> f64 {
         let total = self.row_hits + self.row_misses;
@@ -138,6 +148,10 @@ impl DramDevice {
 }
 
 impl Endpoint for DramDevice {
+    fn is_idle(&self, now: SimTime) -> bool {
+        self.idle_at() <= now
+    }
+
     fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse {
         let bytes = txn.bytes.max(64);
         let hits_before = self.row_hits;

@@ -94,6 +94,10 @@ impl ExpanderDevice {
 }
 
 impl Endpoint for ExpanderDevice {
+    fn is_idle(&self, now: SimTime) -> bool {
+        self.dram.idle_at() <= now
+    }
+
     fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse {
         let Some(abs) = self.translate(txn.src, txn.addr) else {
             self.violations += 1;

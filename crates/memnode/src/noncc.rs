@@ -87,6 +87,10 @@ impl NonCoherentShared {
 }
 
 impl Endpoint for NonCoherentShared {
+    fn is_idle(&self, now: SimTime) -> bool {
+        self.dram.idle_at() <= now
+    }
+
     fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse {
         let line = txn.addr & !(LINE - 1);
         match txn.kind {

@@ -9,11 +9,19 @@
 //!   through every interleaving of loads, stores, evictions and snoop
 //!   deliveries that small configurations admit, asserting coherence
 //!   safety and deadlock freedom on every reachable state.
+//! - [`reconfig`] — an explicit-state checker for the epoch-based
+//!   reconfiguration protocol ([`fcc_elastic::epoch`]): it interleaves
+//!   every hot-add / hot-remove plan step with in-flight fabric traffic
+//!   and proves no flit is dropped at a missing route or delivered to a
+//!   detached port, printing a minimal counterexample when a plan is
+//!   unsafe.
 //!
-//! The `check-coherence` binary runs the standard configurations and
-//! exits non-zero (printing a full message trace) on any violation;
-//! `scripts/check.sh` wires it into the repo's verification gate.
+//! The `check-coherence` and `check-reconfig` binaries run the standard
+//! configurations and exit non-zero (printing a full counterexample
+//! trace) on any violation; `scripts/check.sh` wires them into the
+//! repo's verification gate.
 
 #![warn(missing_docs)]
 
 pub mod coherence;
+pub mod reconfig;

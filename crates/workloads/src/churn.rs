@@ -1,0 +1,145 @@
+//! Fabric churn schedules: when chassis join and leave.
+//!
+//! The elasticity experiment (E11) drives an [`ElasticCluster`] with a
+//! [`ChurnSchedule`]: a time-ordered list of hot-add and remove events.
+//! Schedules are either explicit (deterministic tests) or periodic
+//! (steady add/remove cycling over a horizon).
+//!
+//! [`ElasticCluster`]: ../../fcc_elastic/composer/struct.ElasticCluster.html
+
+use fcc_sim::SimTime;
+
+/// What a churn event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// Hot-add a new chassis.
+    Add,
+    /// Begin a managed drain + remove of node `node`.
+    Remove {
+        /// Heap node index to remove.
+        node: usize,
+    },
+}
+
+/// One scheduled composition change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What it does.
+    pub op: ChurnOp,
+}
+
+/// A time-ordered schedule of composition changes.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// An explicit schedule (sorted by time).
+    pub fn explicit(mut events: Vec<ChurnEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        ChurnSchedule { events }
+    }
+
+    /// A periodic add/remove cycle: starting at `start`, every `period`
+    /// an add fires, and half a period later the node added `lag` cycles
+    /// earlier is removed — so capacity stays roughly level while the
+    /// membership keeps turning over. `first_node` is the heap index the
+    /// first add will receive; removal targets count up from there.
+    /// Events stop at `horizon`.
+    pub fn periodic(start: SimTime, period: SimTime, horizon: SimTime, first_node: usize) -> Self {
+        assert!(period > SimTime::ZERO, "period must be positive");
+        let mut events = Vec::new();
+        let mut t = start;
+        let mut cycle = 0usize;
+        while t <= horizon {
+            events.push(ChurnEvent {
+                at: t,
+                op: ChurnOp::Add,
+            });
+            let half = t + SimTime::from_ps(period.as_ps() / 2);
+            if half <= horizon {
+                events.push(ChurnEvent {
+                    at: half,
+                    op: ChurnOp::Remove {
+                        node: first_node + cycle,
+                    },
+                });
+            }
+            cycle += 1;
+            t += period;
+        }
+        ChurnSchedule { events }
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of add events.
+    pub fn adds(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, ChurnOp::Add))
+            .count()
+    }
+
+    /// Number of remove events.
+    pub fn removes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, ChurnOp::Remove { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_alternates_and_respects_horizon() {
+        let s = ChurnSchedule::periodic(
+            SimTime::from_us(10.0),
+            SimTime::from_us(20.0),
+            SimTime::from_us(60.0),
+            3,
+        );
+        // Adds at 10, 30, 50; removes at 20, 40, 60.
+        assert_eq!(s.adds(), 3);
+        assert_eq!(s.removes(), 3);
+        let mut last = SimTime::ZERO;
+        for e in s.events() {
+            assert!(e.at >= last, "sorted");
+            assert!(e.at <= SimTime::from_us(60.0));
+            last = e.at;
+        }
+        // The first remove targets the first node added.
+        let first_remove = s
+            .events()
+            .iter()
+            .find(|e| matches!(e.op, ChurnOp::Remove { .. }))
+            .expect("has removes");
+        assert_eq!(first_remove.op, ChurnOp::Remove { node: 3 });
+    }
+
+    #[test]
+    fn explicit_sorts_by_time() {
+        let s = ChurnSchedule::explicit(vec![
+            ChurnEvent {
+                at: SimTime::from_us(5.0),
+                op: ChurnOp::Remove { node: 1 },
+            },
+            ChurnEvent {
+                at: SimTime::from_us(1.0),
+                op: ChurnOp::Add,
+            },
+        ]);
+        assert_eq!(s.events()[0].op, ChurnOp::Add);
+        assert_eq!(s.adds(), 1);
+        assert_eq!(s.removes(), 1);
+    }
+}

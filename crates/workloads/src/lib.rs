@@ -4,13 +4,17 @@
 //! * [`access`] — address-stream generators: uniform, sequential, Zipf
 //!   (skewed object popularity), and random-cycle pointer chases.
 //! * [`arrival`] — open-loop arrival processes (Poisson and periodic).
+//! * [`churn`] — fabric composition churn schedules (hot-add/remove) for
+//!   the elasticity experiment (E11).
 //! * [`failure`] — power-domain failure schedules for the passive failure
 //!   domain experiments (§3 D#5, E6).
 
 pub mod access;
 pub mod arrival;
+pub mod churn;
 pub mod failure;
 
 pub use access::{PointerChase, SequentialStream, UniformStream, ZipfStream};
 pub use arrival::{PeriodicArrivals, PoissonArrivals};
+pub use churn::{ChurnEvent, ChurnOp, ChurnSchedule};
 pub use failure::{FailureEvent, FailureSchedule};

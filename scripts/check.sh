@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Workspace quality gate: formatting, lints, tests, and the coherence
-# model check. CI runs exactly this script; run it locally before
-# pushing.
+# and reconfiguration model checks. CI runs exactly this script; run it
+# locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +17,9 @@ cargo test --workspace -q
 echo "==> coherence model check (exhaustive, small configs)"
 cargo run --release -p fcc-verify --bin check-coherence
 
+echo "==> reconfiguration model check (hot-add/hot-remove plans vs in-flight traffic)"
+cargo run --release -p fcc-verify --bin check-reconfig
+
 echo "==> traced experiment smoke (telemetry export end to end)"
 artifacts="${TELEMETRY_ARTIFACT_DIR:-target/telemetry-smoke}"
 mkdir -p "$artifacts"
@@ -27,5 +30,14 @@ cargo run --release -p fcc-bench --bin experiments -- --quick e3a \
 cargo run --release -p fcc-telemetry --bin trace-report -- "$artifacts/trace.json" \
     > "$artifacts/trace-report.txt"
 grep -q "time by category" "$artifacts/trace-report.txt"
+
+echo "==> churn smoke (E11: managed drain loses nothing, never wedges)"
+cargo run --release -p fcc-bench --bin experiments -- --quick --seed 11 e11 \
+    --json "$artifacts/churn-results.json" \
+    --trace "$artifacts/churn-trace.json"
+grep -q '"managed_lost_objects": 0' "$artifacts/churn-results.json"
+grep -q '"managed_deadlocked": 0' "$artifacts/churn-results.json"
+# Reconfiguration epochs must be visible in the exported trace.
+grep -q 'reconfig' "$artifacts/churn-trace.json"
 
 echo "all checks passed"
