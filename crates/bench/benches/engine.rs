@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the DES engine hot path.
+//!
+//! These isolate the costs the experiment harness pays on every event:
+//! calendar-queue push/pop plus slab recycling (`event_churn`), the
+//! same-timestamp batch delivery path (`batch_delivery`), the credit
+//! ramp-up state machine (`credit_ramp`), and the allocation-free
+//! deadlock scan (`deadlock_scan`). `scripts/bench_gate.sh` guards the
+//! end-to-end numbers; these localize *which* layer regressed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fcc_fabric::credit::RampUpState;
+use fcc_sim::{Component, Ctx, Engine, Msg, PendingWork, SimTime};
+
+/// A counter that re-posts to itself until `remaining` hits zero: every
+/// dispatch is one slab take, one push, and one calendar pop.
+struct Churner {
+    remaining: u64,
+    step_ps: u64,
+}
+
+struct Tick;
+
+impl Component for Churner {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self(SimTime::from_ps(self.step_ps), Tick);
+        }
+    }
+}
+
+fn bench_event_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_churn");
+    // 900 ps stays inside the calendar window (near-future ring path);
+    // 9_000_000 ps forces every push through the far-horizon heap and
+    // back, so both queue regimes are covered.
+    for &(label, step_ps) in &[("near", 900u64), ("far", 9_000_000u64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &step_ps, |b, &step| {
+            b.iter(|| {
+                let mut eng = Engine::new(7);
+                let id = eng.add_component(
+                    "churner",
+                    Churner {
+                        remaining: 10_000,
+                        step_ps: step,
+                    },
+                );
+                eng.post(id, SimTime::ZERO, Tick);
+                eng.run_until_idle();
+                eng.events_dispatched()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Counts deliveries; the engine coalesces same-timestamp runs into one
+/// `on_batch` call.
+struct Sink {
+    seen: u64,
+}
+
+impl Component for Sink {
+    fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {
+        self.seen += 1;
+    }
+}
+
+fn bench_batch_delivery(c: &mut Criterion) {
+    c.bench_function("batch_delivery_64x16", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(7);
+            let id = eng.add_component("sink", Sink { seen: 0 });
+            // 64 timestamps, 16 same-timestamp messages each.
+            for t in 0..64u64 {
+                for _ in 0..16 {
+                    eng.post(id, SimTime::from_ps(t * 100), Tick);
+                }
+            }
+            eng.run_until_idle();
+            eng.component::<Sink>(id).seen
+        })
+    });
+}
+
+fn bench_credit_ramp(c: &mut Criterion) {
+    c.bench_function("credit_ramp_64in", |b| {
+        b.iter(|| {
+            let mut ramp = RampUpState::new(64, 2, 32, 256);
+            let mut sent = 0u64;
+            for _ in 0..200 {
+                for i in 0..64 {
+                    while ramp.may_send(i) {
+                        ramp.on_send(i);
+                        sent += 1;
+                    }
+                }
+                ramp.rollover();
+            }
+            sent
+        })
+    });
+}
+
+/// A component that always reports pending work, so the deadlock scan
+/// walks every entry.
+struct Busy {
+    id: u64,
+}
+
+impl Component for Busy {
+    fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {}
+
+    fn outstanding(&self, out: &mut Vec<PendingWork>) {
+        out.push(PendingWork {
+            what: format!("inflight txn {}", self.id),
+            waiting_on: None,
+        });
+    }
+}
+
+fn bench_deadlock_scan(c: &mut Criterion) {
+    let mut eng = Engine::new(7);
+    for i in 0..256u64 {
+        eng.add_component(format!("busy{i}"), Busy { id: i });
+    }
+    c.bench_function("deadlock_scan_256c", |b| {
+        b.iter(|| eng.deadlock_report().map(|r| r.stuck.len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_churn,
+    bench_batch_delivery,
+    bench_credit_ramp,
+    bench_deadlock_scan
+);
+criterion_main!(benches);

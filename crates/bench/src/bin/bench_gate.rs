@@ -1,0 +1,256 @@
+//! Wall-clock regression gate over the committed experiment baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate update [--baseline <file>] [--runs <n>] [--jobs <n>]
+//! bench_gate check  [--baseline <file>] [--runs <n>] [--jobs <n>]
+//!                   [--tolerance <pct>] [--report <file>]
+//! ```
+//!
+//! `update` reruns every scenario, takes the per-scenario **median** of
+//! `--runs` (default 3) wall-clock samples, and rewrites the baseline
+//! file (default `BENCH_experiments.json`) with the deterministic scalar
+//! results plus a `"_perf"` section. `check` takes fresh medians and
+//! compares them against the committed `"_perf"`:
+//!
+//! * **events** must match the baseline exactly — event counts are
+//!   deterministic, so any drift is a simulation change, not noise;
+//! * **wall_ms** may not regress by more than `--tolerance` percent
+//!   (default 25); scenarios whose baseline wall-clock is under 5 ms are
+//!   exempt from the timing check (too small to measure reliably) but
+//!   still event-checked.
+//!
+//! `--report` writes a per-scenario comparison JSON (the CI artifact).
+//! Exit code: 0 = green, 1 = regression or event drift, 2 = usage /
+//! baseline errors.
+
+use std::process::ExitCode;
+
+use fcc_bench::harness::{baseline_json, run_ids, PerfSample, Scalars, ALL};
+use fcc_telemetry::json;
+
+/// Tolerated wall-clock regression, percent.
+const DEFAULT_TOLERANCE: f64 = 25.0;
+/// Baselines below this wall-clock are exempt from the timing check.
+const MIN_GATED_WALL_MS: f64 = 5.0;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_gate update [--baseline <file>] [--runs <n>] [--jobs <n>]\n       \
+         bench_gate check  [--baseline <file>] [--runs <n>] [--jobs <n>] \
+         [--tolerance <pct>] [--report <file>]"
+    );
+    ExitCode::from(2)
+}
+
+/// Per-scenario deterministic scalars and median perf samples.
+type Measured = (Vec<(String, Scalars)>, Vec<(String, PerfSample)>);
+
+/// Runs every scenario `runs` times and folds each scenario to its
+/// median-wall-clock sample. Scalars come from the first run (they are
+/// deterministic; later runs only re-measure time).
+fn measure(runs: usize, jobs: usize) -> Measured {
+    let ids: Vec<String> = ALL.iter().map(|&(id, _, _, _)| id.to_string()).collect();
+    let mut results: Vec<(String, Scalars)> = Vec::new();
+    let mut samples: Vec<Vec<PerfSample>> = vec![Vec::new(); ids.len()];
+    for run in 0..runs {
+        eprintln!("bench_gate: measuring run {}/{runs}", run + 1);
+        let outputs = run_ids(&ids, false, 0, jobs, false);
+        for (i, o) in outputs.into_iter().enumerate() {
+            if run == 0 {
+                results.push((o.id, o.scalars));
+            }
+            samples[i].push(o.perf);
+        }
+    }
+    let perf = ids
+        .into_iter()
+        .zip(samples)
+        .map(|(id, mut s)| {
+            s.sort_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms));
+            (id, s[s.len() / 2])
+        })
+        .collect();
+    (results, perf)
+}
+
+/// One scenario's baseline-vs-measured comparison.
+struct Row {
+    id: String,
+    base: PerfSample,
+    fresh: PerfSample,
+    wall_gated: bool,
+    ok: bool,
+}
+
+fn check(
+    baseline_path: &str,
+    tolerance: f64,
+    report_path: Option<&str>,
+    runs: usize,
+    jobs: usize,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: baseline {baseline_path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(perf_obj) = doc.get("_perf").and_then(|p| p.as_obj()) else {
+        eprintln!(
+            "error: baseline {baseline_path} has no \"_perf\" section; \
+             run `bench_gate update` and commit the result"
+        );
+        return ExitCode::from(2);
+    };
+    let (_, fresh) = measure(runs, jobs);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failed = false;
+    for (id, perf) in fresh {
+        let Some(entry) = perf_obj.iter().find(|(k, _)| *k == id).map(|(_, v)| v) else {
+            eprintln!("FAIL {id}: not in baseline _perf (run `bench_gate update`)");
+            failed = true;
+            continue;
+        };
+        let base = PerfSample {
+            wall_ms: entry.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            events: entry.get("events").and_then(|v| v.as_u64()).unwrap_or(0),
+        };
+        let wall_gated = base.wall_ms >= MIN_GATED_WALL_MS;
+        let wall_ok = !wall_gated || perf.wall_ms <= base.wall_ms * (1.0 + tolerance / 100.0);
+        let events_ok = perf.events == base.events;
+        let ok = wall_ok && events_ok;
+        if !events_ok {
+            eprintln!(
+                "FAIL {id}: event count drifted {} -> {} (simulation change, not noise)",
+                base.events, perf.events
+            );
+        } else if !wall_ok {
+            eprintln!(
+                "FAIL {id}: wall {:.1} ms -> {:.1} ms (+{:.0}%, tolerance {tolerance:.0}%)",
+                base.wall_ms,
+                perf.wall_ms,
+                (perf.wall_ms / base.wall_ms - 1.0) * 100.0
+            );
+        } else {
+            eprintln!(
+                "ok   {id}: wall {:.1} ms -> {:.1} ms, {} events{}",
+                base.wall_ms,
+                perf.wall_ms,
+                perf.events,
+                if wall_gated { "" } else { " (timing exempt)" }
+            );
+        }
+        failed |= !ok;
+        rows.push(Row {
+            id,
+            base,
+            fresh: perf,
+            wall_gated,
+            ok,
+        });
+    }
+    if let Some(path) = report_path {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"tolerance_pct\": {tolerance}, \"runs\": {runs}, \"pass\": {},\n  \"scenarios\": {{\n",
+            !failed
+        ));
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"baseline_wall_ms\": {:.3}, \"wall_ms\": {:.3}, \
+                 \"baseline_events\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \
+                 \"timing_gated\": {}, \"pass\": {}}}",
+                r.id,
+                r.base.wall_ms,
+                r.fresh.wall_ms,
+                r.base.events,
+                r.fresh.events,
+                r.fresh.events_per_sec(),
+                r.wall_gated,
+                r.ok
+            ));
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("error: cannot write report {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote comparison report to {path}");
+    }
+    if failed {
+        eprintln!("bench_gate: FAIL");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_gate: pass");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<String> = None;
+    let mut baseline = "BENCH_experiments.json".to_string();
+    let mut report: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut runs = 3usize;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "update" | "check" if mode.is_none() => mode = Some(a),
+            "--baseline" | "--report" | "--tolerance" | "--runs" | "--jobs" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: {a} requires a value");
+                    return usage();
+                };
+                match a.as_str() {
+                    "--baseline" => baseline = v,
+                    "--report" => report = Some(v),
+                    other => {
+                        let Ok(n) = v.parse::<f64>() else {
+                            eprintln!("error: {a} {v:?}: not a number");
+                            return usage();
+                        };
+                        match other {
+                            "--tolerance" => tolerance = n,
+                            "--runs" => runs = (n as usize).max(1),
+                            _ => jobs = (n as usize).max(1),
+                        }
+                    }
+                }
+            }
+            _ => {
+                eprintln!("error: unexpected argument {a}");
+                return usage();
+            }
+        }
+    }
+    match mode.as_deref() {
+        Some("update") => {
+            let (results, perf) = measure(runs, jobs);
+            match std::fs::write(&baseline, baseline_json(&results, &perf)) {
+                Ok(()) => {
+                    eprintln!("bench_gate: wrote baseline to {baseline}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write {baseline}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("check") => check(&baseline, tolerance, report.as_deref(), runs, jobs),
+        _ => usage(),
+    }
+}

@@ -4,15 +4,23 @@
 //!
 //! ```text
 //! experiments list
-//! experiments [--quick] [--json <file>] [--trace <file>] [--metrics <file>] <id>... | all
+//! experiments [--quick] [--jobs <n>] [--json <file>] [--trace <file>] \
+//!             [--metrics <file>] [--perf <file>] <id>... | all
 //! ```
 //!
 //! * `list` prints the experiment-id table and exits.
 //! * `--quick` shortens op counts (CI-friendly; same shapes).
 //! * `--seed <n>` salts every scenario's RNG (default 0, the published
 //!   numbers); different seeds re-draw workloads without changing shapes.
+//! * `--jobs <n>` caps the scenario fan-out (default: one per core).
+//!   Every export is byte-identical for any `--jobs` value: scenarios are
+//!   fully isolated and outputs are assembled in scenario order.
 //! * `--json <file>` writes every run experiment's scalar results as one
-//!   JSON object keyed by experiment id.
+//!   JSON object keyed by experiment id. Timing never appears here — the
+//!   simulation results are deterministic and diffable.
+//! * `--perf <file>` writes per-scenario wall-clock and events/sec (the
+//!   non-deterministic measurements) as JSON; `scripts/bench_gate.sh`
+//!   compares this against the committed baseline.
 //! * `--trace <file>` writes a Chrome-trace-event/Perfetto JSON causal
 //!   trace of the instrumented experiments (T2 and E3a–E3e); load it in
 //!   `ui.perfetto.dev` or feed it to the `trace-report` binary.
@@ -22,327 +30,13 @@
 use std::process::ExitCode;
 
 use fcc_bench::capture::Capture;
-use fcc_bench::{
-    exp_abl, exp_e10, exp_e11, exp_e3, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8, exp_e9, exp_f1,
-    exp_nodes, exp_t1, exp_t2, fmt_table,
-};
-
-/// Experiment registry: `(id, traced, description)`.
-const ALL: [(&str, bool, &str); 20] = [
-    ("t1", false, "Table 1: commodity memory fabrics registry"),
-    (
-        "t2",
-        true,
-        "Table 2: memory-hierarchy 64 B latency/throughput",
-    ),
-    (
-        "f1",
-        false,
-        "fabric discovery, PBR routing, cross-fabric reads",
-    ),
-    (
-        "e3a",
-        true,
-        "concurrent 64 B writes to a disaggregated device",
-    ),
-    (
-        "e3b",
-        true,
-        "64 B writes interleaved with 16 KiB bulk traffic",
-    ),
-    (
-        "e3c",
-        true,
-        "credit allocation: ramp-up starves bursty flows",
-    ),
-    ("e3d", true, "credit-agnostic FIFO scheduling: HOL blocking"),
-    (
-        "e3e",
-        true,
-        "credit starvation back-propagates across switches",
-    ),
-    ("e4", false, "eTrans managed transfers vs synchronous loads"),
-    ("e5", false, "unified heap placement and migration policies"),
-    (
-        "e6",
-        false,
-        "idempotent tasks vs checkpointing under failures",
-    ),
-    ("e7", false, "fabric arbiter reservations and fairness"),
-    ("e8", false, "baseband pipeline deployment modes"),
-    ("e9", false, "MLP window and working-set sweeps"),
-    ("e10", false, "FAA kernel launch and context switching"),
-    (
-        "e11",
-        true,
-        "online composition: hot-add, managed drain, naive yank",
-    ),
-    ("nodes", false, "memory-node types: expander vs CC-NUMA"),
-    ("abl-flit", false, "ablation: 68 B vs 256 B flit framing"),
-    (
-        "abl-adaptive",
-        false,
-        "ablation: adaptive vs deterministic routing",
-    ),
-    ("abl-credits", false, "ablation: link credit-depth sweep"),
-];
-
-/// Scalar results of one experiment: `(key, value)` pairs.
-type Scalars = Vec<(String, f64)>;
-
-fn kv(key: &str, v: f64) -> (String, f64) {
-    (key.to_string(), v)
-}
-
-/// Lowercases and underscores a free-form label into a JSON key segment.
-fn slug(label: &str) -> String {
-    label
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() {
-                c.to_ascii_lowercase()
-            } else {
-                '_'
-            }
-        })
-        .collect()
-}
-
-fn run_one(id: &str, quick: bool, cap: &mut Capture, seed: u64) -> Option<Scalars> {
-    println!("================================================================");
-    let mut s: Scalars = Vec::new();
-    match id {
-        "t1" => {
-            let r = exp_t1::run();
-            println!("{r}");
-            s.push(kv("fabrics", r.rows.len() as f64));
-        }
-        "t2" => {
-            let r = exp_t2::run_captured_seeded(quick, cap, seed);
-            println!("{r}");
-            for t in &r.tiers {
-                let tier = slug(t.name);
-                s.push(kv(&format!("{tier}_read_ns"), t.read_ns));
-                s.push(kv(&format!("{tier}_write_ns"), t.write_ns));
-                s.push(kv(&format!("{tier}_read_mops"), t.read_mops));
-                s.push(kv(&format!("{tier}_write_mops"), t.write_mops));
-            }
-            s.push(kv("remote_local_ratio", r.remote_local_ratio()));
-        }
-        "f1" => {
-            let r = exp_f1::run_seeded(seed);
-            println!("{r}");
-            s.push(kv("hosts", r.hosts as f64));
-            s.push(kv("devices", r.devices as f64));
-            s.push(kv("switches", r.switches as f64));
-            s.push(kv("routes", r.routes as f64));
-            s.push(kv("verified", r.verified as f64));
-            s.push(kv("attempted", r.attempted as f64));
-            s.push(kv("mean_read_ns", r.mean_read_ns));
-        }
-        "e3a" => {
-            let r = exp_e3::run_a_captured_seeded(quick, cap, seed);
-            println!("{r}");
-            s.push(kv("inhost_ns", r.inhost_ns));
-            for &(w, ns) in &r.disaggregated {
-                s.push(kv(&format!("w{w}_ns"), ns));
-            }
-            s.push(kv("delta_w8_ns", r.delta_at(8)));
-        }
-        "e3b" => {
-            let r = exp_e3::run_b_captured_seeded(quick, cap, seed);
-            println!("{r}");
-            s.push(kv("alone_mean_ns", r.alone.mean));
-            s.push(kv("alone_p99_ns", r.alone.p99));
-            s.push(kv("interfered_mean_ns", r.interfered.mean));
-            s.push(kv("interfered_p99_ns", r.interfered.p99));
-            s.push(kv("mean_inflation", r.mean_inflation()));
-            s.push(kv("p99_inflation", r.p99_inflation()));
-        }
-        "e3c" => {
-            let r = exp_e3::run_c_captured_seeded(quick, cap, seed);
-            println!("{r}");
-            for o in &r.outcomes {
-                let p = slug(o.policy);
-                s.push(kv(&format!("{p}_hog_ops_us"), o.hog_tput));
-                s.push(kv(&format!("{p}_bursty_ops_us"), o.bursty_tput));
-                s.push(kv(&format!("{p}_bursty_p99_ns"), o.bursty_p99));
-            }
-        }
-        "e3d" => {
-            let r = exp_e3::run_d_captured_seeded(quick, cap, seed);
-            println!("{r}");
-            s.push(kv("fifo_fast_ops_us", r.fifo_fast_tput));
-            s.push(kv("voq_fast_ops_us", r.voq_fast_tput));
-            s.push(kv("fifo_slow_ops_us", r.fifo_slow_tput));
-            s.push(kv("hol_factor", r.hol_factor()));
-        }
-        "e3e" => {
-            let r = exp_e3::run_e_captured_seeded(quick, cap, seed);
-            println!("{r}");
-            s.push(kv("victim_alone_ops_us", r.victim_alone));
-            s.push(kv("victim_congested_ops_us", r.victim_congested));
-            s.push(kv("hog_ops_us", r.hog_tput));
-            s.push(kv("degradation", r.degradation()));
-        }
-        "e4" => {
-            let r = exp_e4::run_seeded(quick, seed);
-            println!("{r}");
-            s.push(kv("chunks", r.chunks as f64));
-            s.push(kv("sync_us", r.sync_us));
-            s.push(kv("managed_us", r.managed_us));
-            s.push(kv("sync_stall_us", r.sync_stall_us));
-            s.push(kv("managed_stall_us", r.managed_stall_us));
-            s.push(kv("speedup", r.speedup()));
-        }
-        "e5" => {
-            let r = exp_e5::run_seeded(quick, seed);
-            println!("{r}");
-            for o in &r.outcomes {
-                let p = slug(o.policy);
-                s.push(kv(&format!("{p}_mean_ns"), o.mean_ns));
-                s.push(kv(&format!("{p}_migrations"), o.migrations as f64));
-                s.push(kv(&format!("{p}_bytes_migrated"), o.bytes_migrated as f64));
-            }
-            s.push(kv("speedup_vs_remote", r.speedup_vs_remote()));
-        }
-        "e6" => {
-            let r = exp_e6::run_seeded(quick, seed);
-            println!("{r}");
-            s.push(kv("baseline_us", r.baseline_us));
-            for p in &r.points {
-                let m = p.mtbf_us.round() as u64;
-                s.push(kv(
-                    &format!("mtbf{m}us_idem_makespan_us"),
-                    p.idempotent.makespan.as_us(),
-                ));
-                s.push(kv(
-                    &format!("mtbf{m}us_ckpt_makespan_us"),
-                    p.checkpoint.makespan.as_us(),
-                ));
-            }
-            s.push(kv(
-                "naive_clobber_corrupts",
-                r.naive_clobber_corrupts as u64 as f64,
-            ));
-            s.push(kv("versioned_is_safe", r.versioned_is_safe as u64 as f64));
-        }
-        "e7" => {
-            let r = exp_e7::run_seeded(quick, seed);
-            println!("{r}");
-            s.push(kv("control_rtt_ns", r.control_rtt_ns));
-            s.push(kv("uncoordinated_hog_ops_us", r.uncoordinated.0));
-            s.push(kv("uncoordinated_bursty_ops_us", r.uncoordinated.1));
-            s.push(kv("arbitrated_hog_ops_us", r.arbitrated.0));
-            s.push(kv("arbitrated_bursty_ops_us", r.arbitrated.1));
-            s.push(kv("jain_before", r.jain_before));
-            s.push(kv("jain_after", r.jain_after));
-        }
-        "e8" => {
-            let r = exp_e8::run_seeded(quick, seed);
-            println!("{r}");
-            s.push(kv("ber_15db", r.ber_15db));
-            s.push(kv("ber_35db", r.ber_35db));
-            for m in &r.modes {
-                s.push(kv(&format!("{}_frame_us", slug(m.mode)), m.frame_us));
-            }
-            s.push(kv("unifabric_with_failure_us", r.unifabric_with_failure_us));
-        }
-        "e9" => {
-            let r = exp_e9::run_seeded(quick, seed);
-            println!("{r}");
-            for &(w, mops) in &r.window_sweep {
-                s.push(kv(&format!("window{w}_mops"), mops));
-            }
-            for &(ws, ns) in &r.ws_sweep {
-                s.push(kv(&format!("ws{ws}kib_ns"), ns));
-            }
-        }
-        "e10" => {
-            let r = exp_e10::run_seeded(quick, seed);
-            println!("{r}");
-            s.push(kv("fabric_launch_ns", r.fabric_launch_ns));
-            s.push(kv("rdma_launch_ns", r.rdma_launch_ns));
-            s.push(kv("launch_advantage", r.launch_advantage()));
-            s.push(kv("fast_switch_us", r.fast_switch_us));
-            s.push(kv("slow_switch_us", r.slow_switch_us));
-            s.push(kv("switches", r.switches as f64));
-        }
-        "e11" => {
-            let r = exp_e11::run_captured_seeded(quick, cap, seed);
-            println!("{r}");
-            s.push(kv("steady_p99_ns", r.steady.p99_ns));
-            s.push(kv("managed_p99_ns", r.managed.p99_ns));
-            s.push(kv("managed_p99_inflation", r.managed_p99_inflation()));
-            s.push(kv("managed_lost_objects", r.managed.lost_objects as f64));
-            s.push(kv("managed_deadlocked", r.managed.deadlocked as u64 as f64));
-            s.push(kv("managed_epochs", r.managed.epochs as f64));
-            s.push(kv("evac_jobs", r.managed.evac_jobs as f64));
-            s.push(kv("evac_bytes", r.managed.evac_bytes as f64));
-            s.push(kv("yank_lost_objects", r.yank.lost_objects as f64));
-            s.push(kv("yank_deadlocked", r.yank.deadlocked as u64 as f64));
-        }
-        "nodes" => {
-            let r = exp_nodes::run_seeded(quick, seed);
-            println!("{r}");
-            s.push(kv("expander_ns", r.expander_ns));
-            s.push(kv("ccnuma_private_ns", r.ccnuma_private_ns));
-            s.push(kv("ccnuma_pingpong_ns", r.ccnuma_pingpong_ns));
-            s.push(kv("snoops", r.snoops as f64));
-        }
-        "abl-flit" => {
-            let r = exp_abl::run_flit_seeded(quick, seed);
-            println!("{r}");
-            s.push(kv("bulk_flit68_ops_us", r.bulk.0));
-            s.push(kv("bulk_flit256_ops_us", r.bulk.1));
-            s.push(kv("small_flit68_ns", r.small.0));
-            s.push(kv("small_flit256_ns", r.small.1));
-        }
-        "abl-adaptive" => {
-            let r = exp_abl::run_adaptive_seeded(quick, seed);
-            println!("{r}");
-            s.push(kv("deterministic_ops_us", r.deterministic));
-            s.push(kv("adaptive_ops_us", r.adaptive));
-        }
-        "abl-credits" => {
-            let r = exp_abl::run_credits_seeded(quick, seed);
-            println!("{r}");
-            for &(flits, tput) in &r.points {
-                s.push(kv(&format!("credits{flits}_ops_us"), tput));
-            }
-        }
-        _ => return None,
-    }
-    Some(s)
-}
-
-/// Renders the scalar results of every run as one JSON object keyed by
-/// experiment id. Non-finite values (shape-dependent NaNs) render as
-/// `null` so the output is always valid JSON.
-fn results_json(results: &[(String, Scalars)]) -> String {
-    let mut out = String::from("{\n");
-    for (i, (id, scalars)) in results.iter().enumerate() {
-        out.push_str(&format!("  \"{id}\": {{\n"));
-        for (j, (k, v)) in scalars.iter().enumerate() {
-            let val = if v.is_finite() {
-                format!("{v}")
-            } else {
-                "null".to_string()
-            };
-            out.push_str(&format!("    \"{k}\": {val}"));
-            out.push_str(if j + 1 < scalars.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("  }");
-        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("}\n");
-    out
-}
+use fcc_bench::fmt_table;
+use fcc_bench::harness::{perf_json, results_json, run_ids, Scalars, ALL};
 
 fn print_list() {
     let rows: Vec<Vec<String>> = ALL
         .iter()
-        .map(|&(id, traced, desc)| {
+        .map(|&(id, traced, _, desc)| {
             vec![
                 id.to_string(),
                 if traced { "yes" } else { "-" }.to_string(),
@@ -355,13 +49,13 @@ fn print_list() {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments list\n       experiments [--quick] [--seed <n>] [--json <file>] \
-         [--trace <file>] [--metrics <file>] <id>... | all"
+        "usage: experiments list\n       experiments [--quick] [--seed <n>] [--jobs <n>] \
+         [--json <file>] [--trace <file>] [--metrics <file>] [--perf <file>] <id>... | all"
     );
     eprintln!(
         "ids: {} all",
         ALL.iter()
-            .map(|&(id, _, _)| id)
+            .map(|&(id, _, _, _)| id)
             .collect::<Vec<_>>()
             .join(" ")
     );
@@ -385,28 +79,31 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed = 0u64;
+    let mut jobs: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut perf_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--seed" => {
+            "--seed" | "--jobs" => {
                 let Some(n) = it.next() else {
-                    eprintln!("error: --seed requires a number");
+                    eprintln!("error: {a} requires a number");
                     return usage();
                 };
-                match n.parse::<u64>() {
-                    Ok(n) => seed = n,
-                    Err(e) => {
-                        eprintln!("error: --seed {n:?}: {e}");
+                match (a.as_str(), n.parse::<u64>()) {
+                    ("--seed", Ok(v)) => seed = v,
+                    (_, Ok(v)) => jobs = Some((v as usize).max(1)),
+                    (_, Err(e)) => {
+                        eprintln!("error: {a} {n:?}: {e}");
                         return usage();
                     }
                 }
             }
-            "--json" | "--trace" | "--metrics" => {
+            "--json" | "--trace" | "--metrics" | "--perf" => {
                 let Some(path) = it.next() else {
                     eprintln!("error: {a} requires a file argument");
                     return usage();
@@ -414,6 +111,7 @@ fn main() -> ExitCode {
                 match a.as_str() {
                     "--json" => json_path = Some(path),
                     "--trace" => trace_path = Some(path),
+                    "--perf" => perf_path = Some(path),
                     _ => metrics_path = Some(path),
                 }
             }
@@ -433,29 +131,24 @@ fn main() -> ExitCode {
         return usage();
     }
     if ids.iter().any(|i| i == "all") {
-        ids = ALL.iter().map(|&(id, _, _)| id.to_string()).collect();
+        ids = ALL.iter().map(|&(id, _, _, _)| id.to_string()).collect();
     }
     // Reject typos before running anything: a bad id at position N must
     // not cost the N-1 experiments before it.
     for id in &ids {
-        if !ALL.iter().any(|&(known, _, _)| known == id) {
+        if !ALL.iter().any(|&(known, _, _, _)| known == id) {
             eprintln!("unknown experiment id: {id}");
             return usage();
         }
     }
     let capture_wanted = trace_path.is_some() || metrics_path.is_some();
-    let mut cap = if capture_wanted {
-        Capture::recording()
-    } else {
-        Capture::disabled()
-    };
     if capture_wanted {
         let untraced: Vec<&str> = ids
             .iter()
             .map(String::as_str)
             .filter(|id| {
                 ALL.iter()
-                    .any(|&(known, traced, _)| known == *id && !traced)
+                    .any(|&(known, traced, _, _)| known == *id && !traced)
             })
             .collect();
         if !untraced.is_empty() {
@@ -465,19 +158,38 @@ fn main() -> ExitCode {
             );
         }
     }
-    let mut results: Vec<(String, Scalars)> = Vec::new();
-    for id in &ids {
-        match run_one(id, quick, &mut cap, seed) {
-            Some(scalars) => results.push((id.clone(), scalars)),
-            None => {
-                // Unreachable: ids were validated against ALL above.
-                eprintln!("unknown experiment id: {id}");
-                return usage();
-            }
+    let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let outputs = run_ids(&ids, quick, seed, jobs, capture_wanted);
+
+    // Deterministic assembly: everything below walks `outputs` in
+    // scenario order, so every export is byte-identical for any `--jobs`.
+    for o in &outputs {
+        print!("{}", o.text);
+    }
+    let results: Vec<(String, Scalars)> = outputs
+        .iter()
+        .map(|o| (o.id.clone(), o.scalars.clone()))
+        .collect();
+    let perf_entries: Vec<_> = outputs.iter().map(|o| (o.id.clone(), o.perf)).collect();
+    let perf = perf_json(&perf_entries);
+    let mut cap = if capture_wanted {
+        Capture::recording()
+    } else {
+        Capture::disabled()
+    };
+    for o in outputs {
+        cap.metrics.merge(&o.metrics);
+        if let Some(dump) = o.trace {
+            cap.sink.absorb(dump);
         }
     }
     if let Some(path) = &json_path {
         if let Err(code) = write_file(path, &results_json(&results), "results") {
+            return code;
+        }
+    }
+    if let Some(path) = &perf_path {
+        if let Err(code) = write_file(path, &perf, "perf samples") {
             return code;
         }
     }

@@ -28,7 +28,9 @@ pub mod exp_f1;
 pub mod exp_nodes;
 pub mod exp_t1;
 pub mod exp_t2;
+pub mod harness;
 pub mod loadgen;
+pub mod runner;
 
 /// Renders an ASCII table.
 pub fn fmt_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -1,0 +1,141 @@
+//! A small deterministic fork-join runner for scenario fan-out.
+//!
+//! The build environment carries no `rayon`, so this is the std-only
+//! equivalent of a work-stealing `par_map` specialized to the harness's
+//! needs: a bounded pool of scoped threads claims items off a shared
+//! cursor, runs them, and files results back *by input index*, so the
+//! output order (and therefore every downstream export) is independent of
+//! thread scheduling. Combined with per-item isolated `Engine`s this is
+//! the classic embarrassingly-parallel regime of parallel DES (Fujimoto):
+//! replicates share nothing, so no synchronization protocol is needed —
+//! only deterministic result assembly.
+//!
+//! Claiming follows a longest-job-first schedule (callers pass a cost
+//! estimate per item): with 20 scenarios whose durations span 3 orders of
+//! magnitude, starting the long poles first keeps the makespan near
+//! `max(longest item, total/cores)` instead of stranding a long tail on
+//! one core.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Maps `f` over `items` on up to `jobs` threads, returning results in
+/// input order.
+///
+/// `cost` supplies a relative duration estimate per item; higher-cost
+/// items are claimed first (ties fall back to input order). `f` receives
+/// `(input_index, item)`. With `jobs <= 1` (or a single item) everything
+/// runs inline on the caller's thread — byte-identical results either
+/// way, just without the thread pool.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (via scoped-thread join).
+pub fn par_map<T, R>(
+    items: Vec<T>,
+    jobs: usize,
+    cost: impl Fn(usize, &T) -> u64,
+    f: impl Fn(usize, T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let n = items.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    // Longest-job-first claim order; stable on ties.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| cost(b, &items[b]).cmp(&cost(a, &items[a])).then(a.cmp(&b)));
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&idx) = order.get(k) else {
+                    break;
+                };
+                // Poisoning only happens when another worker panicked,
+                // and scope() is about to propagate that panic anyway.
+                let item = work[idx]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                let Some(item) = item else {
+                    continue;
+                };
+                let r = f(idx, item);
+                results.lock().unwrap_or_else(PoisonError::into_inner)[idx] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Some(r) => r,
+            // Unreachable: every index is claimed exactly once and scope()
+            // re-raises worker panics before we get here.
+            None => panic!("runner produced no result for item {i}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..50).collect();
+        // Cost inversely related to index: late items are claimed first,
+        // yet results must land by input index.
+        let out = par_map(items, 4, |i, _| 1000 - i as u64, |i, v| (i, v * 2));
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = par_map(items.clone(), 1, |_, _| 0, |i, v| v * 31 + i as u64);
+        let parallel = par_map(items, 8, |_, _| 0, |i, v| v * 31 + i as u64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = par_map(
+            vec![(); 100],
+            7,
+            |_, _| 1,
+            |_, ()| counter.fetch_add(1, Ordering::Relaxed),
+        );
+        assert_eq!(out.len(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_single_item_edge_cases() {
+        let none: Vec<u32> = par_map(Vec::<u32>::new(), 4, |_, _| 0, |_, v| v);
+        assert!(none.is_empty());
+        let one = par_map(vec![9u32], 4, |_, _| 0, |_, v| v + 1);
+        assert_eq!(one, vec![10]);
+    }
+}

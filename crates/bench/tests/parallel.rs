@@ -1,0 +1,84 @@
+//! Integration tests for the parallel experiment runner: a `--jobs N`
+//! run must assemble into exactly the bytes a serial run produces, for
+//! every export (report text, scalar JSON, Chrome trace, metrics).
+//!
+//! Scenarios are isolated (own `Engine`s, own `Capture`, seed-derived
+//! RNG streams) and the harness reassembles outputs in scenario order,
+//! so thread scheduling must be unobservable. These tests pin that.
+
+use fcc_bench::capture::Capture;
+use fcc_bench::harness::{perf_json, results_json, run_ids, ScenarioOutput};
+
+/// A mixed bag of cheap scenarios: traced (t2, e3d) and untraced (t1,
+/// e6, e10), in non-alphabetical order to catch accidental sorting.
+fn ids() -> Vec<String> {
+    ["t2", "t1", "e3d", "e10", "e6"]
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// Reassembles outputs exactly the way the `experiments` binary does:
+/// concatenated report text, scalar JSON, absorbed trace JSON, merged
+/// metrics JSON.
+fn assemble(outputs: Vec<ScenarioOutput>) -> (String, String, String, String) {
+    let text: String = outputs.iter().map(|o| o.text.as_str()).collect();
+    let results: Vec<_> = outputs
+        .iter()
+        .map(|o| (o.id.clone(), o.scalars.clone()))
+        .collect();
+    let mut cap = Capture::recording();
+    for o in outputs {
+        cap.metrics.merge(&o.metrics);
+        if let Some(dump) = o.trace {
+            cap.sink.absorb(dump);
+        }
+    }
+    (
+        text,
+        results_json(&results),
+        cap.sink.to_chrome_json(),
+        cap.metrics.to_json(),
+    )
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let serial = assemble(run_ids(&ids(), true, 0, 1, true));
+    let parallel = assemble(run_ids(&ids(), true, 0, 4, true));
+    assert_eq!(serial.0, parallel.0, "report text differs");
+    assert_eq!(serial.1, parallel.1, "scalar JSON differs");
+    assert_eq!(serial.2, parallel.2, "trace JSON differs");
+    assert_eq!(serial.3, parallel.3, "metrics JSON differs");
+}
+
+#[test]
+fn parallel_run_is_byte_identical_under_a_nonzero_seed() {
+    let serial = assemble(run_ids(&ids(), true, 42, 1, true));
+    let parallel = assemble(run_ids(&ids(), true, 42, 3, true));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn outputs_come_back_in_request_order_with_perf_samples() {
+    let outputs = run_ids(&ids(), true, 0, 4, false);
+    let got: Vec<&str> = outputs.iter().map(|o| o.id.as_str()).collect();
+    assert_eq!(got, ["t2", "t1", "e3d", "e10", "e6"]);
+    // Scenarios that drive a DES engine report a nonzero event count
+    // (t1 is a pure table and e6 an analytic model — no engine).
+    for o in &outputs {
+        if matches!(o.id.as_str(), "t2" | "e3d" | "e10") {
+            assert!(o.perf.events > 0, "{} reported no events", o.id);
+        }
+        assert!(o.perf.wall_ms >= 0.0);
+    }
+    // The perf export covers every scenario, in order.
+    let entries: Vec<_> = outputs.iter().map(|o| (o.id.clone(), o.perf)).collect();
+    let perf = perf_json(&entries);
+    let mut last = 0;
+    for id in ["t2", "t1", "e3d", "e10", "e6"] {
+        let pos = perf.find(&format!("\"{id}\"")).expect("id in perf JSON");
+        assert!(pos > last || last == 0, "{id} out of order in perf JSON");
+        last = pos;
+    }
+}

@@ -273,23 +273,21 @@ impl Component for CoherentL1 {
         }
     }
 
-    fn outstanding(&self) -> Vec<PendingWork> {
+    fn outstanding(&self, out: &mut Vec<PendingWork>) {
         let mut tags: Vec<u64> = self.outstanding.keys().copied().collect();
         tags.sort_unstable();
-        tags.iter()
-            .map(|tag| {
-                let p = &self.outstanding[tag];
-                let kind = if p.tag == u64::MAX {
-                    "eviction"
-                } else {
-                    "miss"
-                };
-                PendingWork {
-                    what: format!("{kind} for {:#x} awaiting completion", p.addr),
-                    waiting_on: Some(self.fha),
-                }
-            })
-            .collect()
+        out.extend(tags.iter().map(|tag| {
+            let p = &self.outstanding[tag];
+            let kind = if p.tag == u64::MAX {
+                "eviction"
+            } else {
+                "miss"
+            };
+            PendingWork {
+                what: format!("{kind} for {:#x} awaiting completion", p.addr),
+                waiting_on: Some(self.fha),
+            }
+        }));
     }
 }
 

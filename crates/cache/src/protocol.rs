@@ -1,6 +1,6 @@
 //! The pure host-side MESI line protocol.
 //!
-//! These are the per-line state transitions that [`CoherentL1`]
+//! These are the per-line state transitions that [`CoherentL1`](crate::coherent::CoherentL1)
 //! (crate::coherent::CoherentL1) executes in response to local accesses
 //! and directory snoops, factored out of the event-driven component so
 //! they can also be driven exhaustively by the `fcc-verify` model

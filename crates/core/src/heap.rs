@@ -527,7 +527,15 @@ impl UnifiedHeap {
                 )
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Tie-break equal temperatures by object id: `objects` is a
+        // HashMap, so without it equal-heat objects would rank in
+        // process-random order and migration counts would drift run to
+        // run.
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         // Desired placement: walk hot objects into the fastest tier with
         // remaining budget.
         let mut budget: Vec<u64> = (0..self.nodes.len())

@@ -161,17 +161,18 @@ impl Component for DrainCoordinator {
         }
     }
 
-    fn outstanding(&self) -> Vec<PendingWork> {
-        self.state
-            .borrow()
-            .pending_evac
-            .iter()
-            .filter(|&(_, &n)| n > 0)
-            .map(|(&idx, &n)| PendingWork {
-                what: format!("{n} evacuation jobs off heap node {idx}"),
-                waiting_on: None,
-            })
-            .collect()
+    fn outstanding(&self, out: &mut Vec<PendingWork>) {
+        out.extend(
+            self.state
+                .borrow()
+                .pending_evac
+                .iter()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(&idx, &n)| PendingWork {
+                    what: format!("{n} evacuation jobs off heap node {idx}"),
+                    waiting_on: None,
+                }),
+        );
     }
 }
 
@@ -319,7 +320,7 @@ impl ElasticCluster {
     /// Hot-adds a FAM chassis with the given profile, returning its heap
     /// index. Phase 1 (now): attach the port, post the route install,
     /// open the heap slot in [`NodeState::Draining`] so nothing allocates
-    /// there yet. Phase 2 (after [`ROUTE_SETTLE`]): map the range at
+    /// there yet. Phase 2 (after `ROUTE_SETTLE`): map the range at
     /// every FHA and set the node [`NodeState::Active`]. The ordering is
     /// the safety argument — the switch drops unroutable flits, so no
     /// traffic may target the node before its route exists.

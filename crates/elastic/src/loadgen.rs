@@ -146,14 +146,15 @@ impl Component for HeapLoadGen {
         }
     }
 
-    fn outstanding(&self) -> Vec<PendingWork> {
-        self.in_flight
-            .iter()
-            .map(|(&tag, &(obj, since))| PendingWork {
-                what: format!("op {tag} on {} B object (issued {since})", obj.size()),
-                waiting_on: Some(self.fha),
-            })
-            .collect()
+    fn outstanding(&self, out: &mut Vec<PendingWork>) {
+        out.extend(
+            self.in_flight
+                .iter()
+                .map(|(&tag, &(obj, since))| PendingWork {
+                    what: format!("op {tag} on {} B object (issued {since})", obj.size()),
+                    waiting_on: Some(self.fha),
+                }),
+        );
     }
 }
 

@@ -515,16 +515,13 @@ impl Component for Fha {
         }
     }
 
-    fn outstanding(&self) -> Vec<PendingWork> {
+    fn outstanding(&self, out: &mut Vec<PendingWork>) {
         let mut ids: Vec<u64> = self.outstanding.keys().copied().collect();
         ids.sort_unstable();
-        let mut out: Vec<PendingWork> = ids
-            .iter()
-            .map(|id| PendingWork {
-                what: format!("txn {id:#x} awaiting fabric response"),
-                waiting_on: self.port.peer_opt(),
-            })
-            .collect();
+        out.extend(ids.iter().map(|id| PendingWork {
+            what: format!("txn {id:#x} awaiting fabric response"),
+            waiting_on: self.port.peer_opt(),
+        }));
         if !self.waitq.is_empty() {
             out.push(PendingWork {
                 what: format!(
@@ -534,7 +531,6 @@ impl Component for Fha {
                 waiting_on: self.port.peer_opt(),
             });
         }
-        out
     }
 }
 

@@ -841,8 +841,7 @@ impl Component for FabricSwitch {
         }
     }
 
-    fn outstanding(&self) -> Vec<PendingWork> {
-        let mut out = Vec::new();
+    fn outstanding(&self, out: &mut Vec<PendingWork>) {
         for (i, q) in self.fifo.iter().enumerate() {
             if let Some(head) = q.front() {
                 // The whole FIFO waits behind its head's egress.
@@ -876,7 +875,6 @@ impl Component for FabricSwitch {
                 });
             }
         }
-        out
     }
 }
 

@@ -310,8 +310,7 @@ impl Component for DirectoryNode {
         }
     }
 
-    fn outstanding(&self) -> Vec<PendingWork> {
-        let mut out = Vec::new();
+    fn outstanding(&self, out: &mut Vec<PendingWork>) {
         let mut lines: Vec<u64> = self.inflight.keys().copied().collect();
         lines.sort_unstable();
         for line in lines {
@@ -339,7 +338,6 @@ impl Component for DirectoryNode {
                 waiting_on: self.port.peer_opt(),
             });
         }
-        out
     }
 }
 

@@ -78,7 +78,7 @@ pub struct Directory {
     pub busy_rejections: u64,
 }
 
-/// One line's entry in a [`DirectoryController::canonical`] snapshot:
+/// One line's entry in a [`Directory::canonical`] snapshot:
 /// `(line_addr, state, pending (requester, grant, sharers-to-ack, data_ready))`.
 pub type CanonicalLine = (u64, LineState, Option<(NodeId, Grant, Vec<NodeId>, bool)>);
 

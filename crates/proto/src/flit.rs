@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::channel::{MsgClass, Transaction};
+use crate::channel::{MsgClass, Transaction, TransactionKind};
 use crate::crc::{crc16, crc32};
 
 /// Flit framing mode.
@@ -136,20 +136,75 @@ impl Flit {
         }
     }
 
-    fn encode(seq: u64, payload: &FlitPayload) -> Vec<u8> {
-        // A compact, stable encoding for CRC purposes: seq plus a debug
-        // rendering of the payload. Not a wire format — the simulator never
-        // parses it back — but any payload or seq mutation changes it.
-        let mut bytes = seq.to_le_bytes().to_vec();
-        bytes.extend_from_slice(format!("{payload:?}").as_bytes());
-        bytes
+    /// Longest structural encoding: seq(8) + variant tag(1) + the widest
+    /// payload (a `Transaction`: id 8 + kind 2 + addr 8 + bytes 4 +
+    /// src/dst 2×2 = 26 B).
+    const ENCODE_MAX: usize = 8 + 1 + 26;
+
+    fn encode(seq: u64, payload: &FlitPayload, buf: &mut [u8; Self::ENCODE_MAX]) -> usize {
+        // A compact, stable, injective encoding for CRC purposes: seq, a
+        // payload variant tag, then every payload field as fixed-width
+        // little-endian integers (enum opcodes as discriminant bytes).
+        // Not a wire format — the simulator never parses it back — but any
+        // payload or seq mutation changes it. Stack-buffer structural
+        // encoding keeps CRC computation off the allocator: it runs twice
+        // per flit per hop (emit + receive check) on the hot path.
+        let mut n = 0;
+        let mut put = |bytes: &[u8]| {
+            buf[n..n + bytes.len()].copy_from_slice(bytes);
+            n += bytes.len();
+        };
+        put(&seq.to_le_bytes());
+        match payload {
+            FlitPayload::Transaction(t) => {
+                put(&[0]);
+                put(&t.id.to_le_bytes());
+                let (chan, op) = match t.kind {
+                    TransactionKind::Mem(op) => (0u8, op as u8),
+                    TransactionKind::Cache(op) => (1, op as u8),
+                    TransactionKind::Io(op) => (2, op as u8),
+                };
+                put(&[chan, op]);
+                put(&t.addr.to_le_bytes());
+                put(&t.bytes.to_le_bytes());
+                put(&t.src.0.to_le_bytes());
+                put(&t.dst.0.to_le_bytes());
+            }
+            FlitPayload::Data {
+                txn_id,
+                slot,
+                src,
+                dst,
+            } => {
+                put(&[1]);
+                put(&txn_id.to_le_bytes());
+                put(&slot.to_le_bytes());
+                put(&src.0.to_le_bytes());
+                put(&dst.0.to_le_bytes());
+            }
+            FlitPayload::CreditUpdate { class, credits } => {
+                put(&[2, class.index() as u8]);
+                put(&credits.to_le_bytes());
+            }
+            FlitPayload::Ack { seq } => {
+                put(&[3]);
+                put(&seq.to_le_bytes());
+            }
+            FlitPayload::Nak { from_seq } => {
+                put(&[4]);
+                put(&from_seq.to_le_bytes());
+            }
+            FlitPayload::Idle => put(&[5]),
+        }
+        n
     }
 
     fn compute_crc(seq: u64, mode: FlitMode, payload: &FlitPayload) -> u32 {
-        let encoded = Self::encode(seq, payload);
+        let mut buf = [0u8; Self::ENCODE_MAX];
+        let n = Self::encode(seq, payload, &mut buf);
         match mode {
-            FlitMode::Flit68 => crc16(&encoded) as u32,
-            FlitMode::Flit256 => crc32(&encoded),
+            FlitMode::Flit68 => crc16(&buf[..n]) as u32,
+            FlitMode::Flit256 => crc32(&buf[..n]),
         }
     }
 
@@ -217,6 +272,86 @@ mod tests {
         let mut f = Flit::new(5, FlitMode::Flit68, FlitPayload::Ack { seq: 10 });
         f.payload = FlitPayload::Ack { seq: 11 };
         assert!(!f.crc_ok());
+    }
+
+    #[test]
+    fn every_payload_field_is_covered_by_the_encoding() {
+        // Mutating any single field of any variant must change the CRC.
+        let base_txn = sample_txn();
+        let variants: Vec<FlitPayload> = vec![
+            FlitPayload::Transaction(base_txn.clone()),
+            FlitPayload::Transaction(Transaction {
+                id: 2,
+                ..base_txn.clone()
+            }),
+            FlitPayload::Transaction(Transaction {
+                kind: TransactionKind::Mem(MemOpcode::MemWr),
+                ..base_txn.clone()
+            }),
+            FlitPayload::Transaction(Transaction {
+                addr: 0xdead_bee0,
+                ..base_txn.clone()
+            }),
+            FlitPayload::Transaction(Transaction {
+                bytes: 64,
+                ..base_txn.clone()
+            }),
+            FlitPayload::Transaction(Transaction {
+                src: NodeId(1),
+                ..base_txn.clone()
+            }),
+            FlitPayload::Transaction(Transaction {
+                dst: NodeId(4),
+                ..base_txn
+            }),
+            FlitPayload::Data {
+                txn_id: 1,
+                slot: 0,
+                src: NodeId(0),
+                dst: NodeId(3),
+            },
+            FlitPayload::Data {
+                txn_id: 1,
+                slot: 1,
+                src: NodeId(0),
+                dst: NodeId(3),
+            },
+            FlitPayload::Data {
+                txn_id: 1,
+                slot: 0,
+                src: NodeId(2),
+                dst: NodeId(3),
+            },
+            FlitPayload::Data {
+                txn_id: 1,
+                slot: 0,
+                src: NodeId(0),
+                dst: NodeId(5),
+            },
+            FlitPayload::CreditUpdate {
+                class: MsgClass::Req,
+                credits: 4,
+            },
+            FlitPayload::CreditUpdate {
+                class: MsgClass::Drs,
+                credits: 4,
+            },
+            FlitPayload::CreditUpdate {
+                class: MsgClass::Req,
+                credits: 5,
+            },
+            FlitPayload::Ack { seq: 10 },
+            FlitPayload::Nak { from_seq: 10 },
+            FlitPayload::Idle,
+        ];
+        let mut crcs: Vec<u32> = variants
+            .into_iter()
+            .map(|p| Flit::new(7, FlitMode::Flit256, p).crc)
+            .collect();
+        let before = crcs.len();
+        crcs.sort_unstable();
+        crcs.dedup();
+        assert_eq!(crcs.len(), before, "all distinct payloads hash distinctly");
     }
 
     #[test]

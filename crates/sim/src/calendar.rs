@@ -1,0 +1,410 @@
+//! An indexed calendar (bucket) queue for the DES hot path.
+//!
+//! The engine pops events in `(time, seq)` order. A `BinaryHeap` does that
+//! in `O(log n)` per operation with poor locality once the pending set
+//! grows (congested scenarios hold tens of thousands of in-flight flit
+//! events). A calendar queue exploits what a heap cannot: simulated time
+//! only moves forward, and almost every event is scheduled a short,
+//! bounded delay ahead of `now`.
+//!
+//! # Structure and invariants
+//!
+//! Time is divided into fixed-width *days* (`day = time_ps >> WIDTH_SHIFT`)
+//! and the queue keeps a power-of-two ring of buckets, one day per bucket:
+//!
+//! * **Window invariant** — the ring only holds events whose day lies in
+//!   the active window `[cur_day, cur_day + nbuckets)`. Because the window
+//!   spans each ring residue exactly once, a bucket never mixes events of
+//!   two different days.
+//! * **Bucket order invariant** — each bucket is kept sorted by
+//!   `(time, seq)` *descending*, so the next event of the current day pops
+//!   from the back in `O(1)`. Inserts into the window binary-search their
+//!   slot; with a sane width a bucket holds a handful of entries, so the
+//!   memmove is a few dozen bytes.
+//! * **Far invariant** — events beyond the window sit in a min-heap
+//!   (`far`). Whenever `cur_day` advances, any `far` events whose day
+//!   entered the window migrate into the ring, so the ring-first pop order
+//!   is always globally correct.
+//! * **Occupancy bitmap** — one bit per bucket lets the cursor skip runs
+//!   of empty days with `trailing_zeros` instead of probing buckets one by
+//!   one, which keeps sparse phases (a lone millisecond timer) cheap.
+//!
+//! The queue stores `(time, seq, id)` triples where `id` indexes the
+//! engine's event slab; entries are 24 bytes and `Copy`, so bucket
+//! shuffles never touch the event payloads themselves.
+//!
+//! Determinism: pop order is exactly ascending `(time, seq)` — the same
+//! total order the seed heap produced — which `tests` verify against a
+//! `BinaryHeap` oracle under proptest-generated insert/pop interleavings.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queued event reference: its full sort key plus the slab id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CalEntry {
+    /// Event time in picoseconds.
+    pub time: u64,
+    /// Engine-assigned scheduling sequence number (unique; ties in `time`
+    /// fire in scheduling order).
+    pub seq: u64,
+    /// Event slab index.
+    pub id: u32,
+}
+
+/// Calendar-queue sizing: `1 << BUCKET_SHIFT` buckets of `1 << WIDTH_SHIFT`
+/// picoseconds each. 4096 buckets × 1024 ps ≈ a 4.2 µs window, sized so
+/// nanosecond-scale flit hops land one-per-bucket while only coarse timers
+/// (pacing steps, failure schedules) overflow to the far heap.
+const BUCKET_SHIFT: u32 = 12;
+const WIDTH_SHIFT: u32 = 10;
+
+/// A monotone priority queue over `(time, seq)` keys.
+pub struct CalendarQueue {
+    /// The bucket ring; see module docs for the invariants.
+    buckets: Vec<Vec<CalEntry>>,
+    /// `nbuckets - 1`, for masking a day onto the ring.
+    mask: u64,
+    /// Day the cursor is parked on; no queued event is earlier.
+    cur_day: u64,
+    /// Entries currently in the ring.
+    ring_len: usize,
+    /// Min-heap of events beyond the window.
+    far: BinaryHeap<Reverse<CalEntry>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupancy: Vec<u64>,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarQueue {
+    /// Creates an empty queue with the cursor parked on day zero.
+    pub fn new() -> Self {
+        let nbuckets = 1usize << BUCKET_SHIFT;
+        CalendarQueue {
+            buckets: vec![Vec::new(); nbuckets],
+            mask: (nbuckets - 1) as u64,
+            cur_day: 0,
+            ring_len: 0,
+            far: BinaryHeap::new(),
+            occupancy: vec![0u64; nbuckets / 64],
+        }
+    }
+
+    #[inline]
+    fn day_of(time: u64) -> u64 {
+        time >> WIDTH_SHIFT
+    }
+
+    #[inline]
+    fn nbuckets(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Total queued entries (ring plus far heap).
+    pub fn len(&self) -> usize {
+        self.ring_len + self.far.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn mark(&mut self, bucket: usize, occupied: bool) {
+        let (word, bit) = (bucket / 64, bucket % 64);
+        if occupied {
+            self.occupancy[word] |= 1 << bit;
+        } else {
+            self.occupancy[word] &= !(1 << bit);
+        }
+    }
+
+    /// Inserts an entry. Engine scheduling guarantees `entry.time` is never
+    /// before the last popped time, which is what keeps the window
+    /// invariant cheap to maintain.
+    pub fn push(&mut self, entry: CalEntry) {
+        let day = Self::day_of(entry.time);
+        debug_assert!(day >= self.cur_day, "scheduling into a past day");
+        if day >= self.cur_day + self.nbuckets() {
+            self.far.push(Reverse(entry));
+            return;
+        }
+        let bucket = (day & self.mask) as usize;
+        let vec = &mut self.buckets[bucket];
+        // Descending order: find the first element smaller than `entry`
+        // and insert before it (back of the vec is the minimum).
+        let pos = vec.partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+        vec.insert(pos, entry);
+        self.ring_len += 1;
+        self.mark(bucket, true);
+    }
+
+    /// Moves far events whose day has entered the window into the ring.
+    fn migrate_far(&mut self) {
+        let window_end = self.cur_day + self.nbuckets();
+        while let Some(Reverse(top)) = self.far.peek() {
+            if Self::day_of(top.time) >= window_end {
+                break;
+            }
+            // Far entries migrate through the normal insert path; `pop`
+            // below has already advanced `cur_day`, so they land in-window.
+            #[allow(clippy::expect_used)] // peek() above guarantees Some
+            let Reverse(entry) = self.far.pop().expect("peeked entry present");
+            let day = Self::day_of(entry.time);
+            let bucket = (day & self.mask) as usize;
+            let vec = &mut self.buckets[bucket];
+            let pos = vec.partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+            vec.insert(pos, entry);
+            self.ring_len += 1;
+            self.mark(bucket, true);
+        }
+    }
+
+    /// Finds the first non-empty bucket at or after `cur_day` within the
+    /// window, in day order, via the occupancy bitmap. Returns its day.
+    fn next_occupied_day(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let nbuckets = self.nbuckets() as usize;
+        let start = (self.cur_day & self.mask) as usize;
+        let words = self.occupancy.len();
+        let (start_word, start_bit) = (start / 64, start % 64);
+        // Scan the bitmap circularly from `start`; because every ring
+        // event's day is within the window, circular distance from the
+        // cursor equals day order. The start word is visited twice: its
+        // high bits (>= start_bit) first, its low bits after the wrap.
+        let to_day = |bucket: usize| {
+            let dist = (bucket + nbuckets - start) % nbuckets;
+            self.cur_day + dist as u64
+        };
+        let head = self.occupancy[start_word] & (u64::MAX << start_bit);
+        if head != 0 {
+            return Some(to_day(start_word * 64 + head.trailing_zeros() as usize));
+        }
+        for k in 1..=words {
+            let wi = (start_word + k) % words;
+            let mut w = self.occupancy[wi];
+            if k == words {
+                // Back at the start word: only the wrapped-around low bits
+                // remain uninspected.
+                if start_bit == 0 {
+                    break;
+                }
+                w &= (1u64 << start_bit) - 1;
+            }
+            if w != 0 {
+                return Some(to_day(wi * 64 + w.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// The smallest `(time, seq)` entry, if any, without removing it.
+    pub fn peek(&self) -> Option<CalEntry> {
+        let ring_min = self.next_occupied_day().and_then(|day| {
+            let bucket = (day & self.mask) as usize;
+            self.buckets[bucket].last().copied()
+        });
+        let far_min = self.far.peek().map(|Reverse(e)| *e);
+        match (ring_min, far_min) {
+            (Some(r), Some(f)) => Some(if (r.time, r.seq) <= (f.time, f.seq) {
+                r
+            } else {
+                f
+            }),
+            (Some(r), None) => Some(r),
+            (None, Some(f)) => Some(f),
+            (None, None) => None,
+        }
+    }
+
+    /// Removes and returns the smallest `(time, seq)` entry.
+    pub fn pop(&mut self) -> Option<CalEntry> {
+        if self.ring_len == 0 {
+            // Ring drained: jump the cursor straight to the earliest far
+            // day (if any) and refill the window.
+            let Reverse(top) = self.far.peek()?;
+            self.cur_day = Self::day_of(top.time);
+            self.migrate_far();
+        }
+        loop {
+            if let Some(day) = self.next_occupied_day() {
+                if day != self.cur_day {
+                    // Advance the cursor; far events may have entered the
+                    // window and can sort before the ring's next day.
+                    self.cur_day = day;
+                    self.migrate_far();
+                    continue;
+                }
+                let bucket = (day & self.mask) as usize;
+                // Occupancy bit set implies a non-empty bucket.
+                #[allow(clippy::expect_used)]
+                let entry = self.buckets[bucket].pop().expect("occupied bucket");
+                if self.buckets[bucket].is_empty() {
+                    self.mark(bucket, false);
+                }
+                self.ring_len -= 1;
+                return Some(entry);
+            }
+            // Ring empty again (migration raced the cursor forward).
+            let Reverse(top) = self.far.peek()?;
+            self.cur_day = Self::day_of(top.time);
+            self.migrate_far();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// The seed implementation, kept as the ordering oracle: a max-heap of
+    /// `Reverse` keys pops in ascending `(time, seq)` order.
+    #[derive(Default)]
+    struct HeapOracle {
+        heap: BinaryHeap<Reverse<CalEntry>>,
+    }
+
+    impl HeapOracle {
+        fn push(&mut self, e: CalEntry) {
+            self.heap.push(Reverse(e));
+        }
+
+        fn pop(&mut self) -> Option<CalEntry> {
+            self.heap.pop().map(|Reverse(e)| e)
+        }
+    }
+
+    fn entry(time: u64, seq: u64) -> CalEntry {
+        CalEntry {
+            time,
+            seq,
+            id: seq as u32,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(entry(500, 1));
+        q.push(entry(100, 2));
+        q.push(entry(500, 0));
+        q.push(entry(100, 3));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time, e.seq))
+            .collect();
+        assert_eq!(order, vec![(100, 2), (100, 3), (500, 0), (500, 1)]);
+    }
+
+    #[test]
+    fn far_future_events_round_trip() {
+        let mut q = CalendarQueue::new();
+        // Beyond the 4096-day window: a millisecond-scale timer.
+        q.push(entry(1_000_000_000, 0));
+        q.push(entry(10, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().map(|e| e.seq), Some(1));
+        assert_eq!(q.pop().map(|e| e.seq), Some(0));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_event_entering_window_sorts_before_later_ring_event() {
+        let mut q = CalendarQueue::new();
+        let width = 1u64 << WIDTH_SHIFT;
+        let window = (1u64 << BUCKET_SHIFT) * width;
+        // Event A lands just past the initial window -> far heap.
+        q.push(entry(window + width, 0));
+        // Drain a nearby event so the cursor advances.
+        q.push(entry(width * 3, 1));
+        assert_eq!(q.pop().map(|e| e.seq), Some(1));
+        // Event B is now inside the window but *after* A in time.
+        q.push(entry(window + 2 * width, 2));
+        assert_eq!(
+            q.pop().map(|e| e.seq),
+            Some(0),
+            "far event must not be overtaken"
+        );
+        assert_eq!(q.pop().map(|e| e.seq), Some(2));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        for (i, t) in [700u64, 3, 900_000_000, 40_000, 3].iter().enumerate() {
+            q.push(entry(*t, i as u64));
+        }
+        while let Some(p) = q.peek() {
+            assert_eq!(q.pop(), Some(p));
+        }
+        assert!(q.peek().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_when_time_advances() {
+        let mut q = CalendarQueue::new();
+        q.push(entry(100, 0));
+        assert_eq!(q.pop().map(|e| e.seq), Some(0));
+        // Schedule relative to the new "now" — same day and later days.
+        q.push(entry(100, 1));
+        q.push(entry(105, 2));
+        q.push(entry(2_000_000, 3));
+        assert_eq!(q.pop().map(|e| e.seq), Some(1));
+        assert_eq!(q.pop().map(|e| e.seq), Some(2));
+        assert_eq!(q.pop().map(|e| e.seq), Some(3));
+    }
+
+    proptest! {
+        /// The calendar queue and the heap oracle agree on pop order for
+        /// arbitrary monotone insert/pop interleavings (ops never schedule
+        /// before the last popped time, matching the engine contract).
+        #[test]
+        fn matches_heap_oracle(
+            ops in prop::collection::vec((0u64..3, 0u64..200_000u64), 1..400),
+        ) {
+            let mut cal = CalendarQueue::new();
+            let mut oracle = HeapOracle::default();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for (op, delay) in ops {
+                if op == 0 {
+                    // Pop from both; results must match.
+                    let a = cal.pop();
+                    let b = oracle.pop();
+                    prop_assert_eq!(a, b);
+                    if let Some(e) = a {
+                        now = e.time;
+                    }
+                } else {
+                    // Push at now + delay (op==2 stretches far beyond the
+                    // window to exercise the far heap).
+                    let t = now + if op == 2 { delay * 100_000 } else { delay };
+                    let e = entry(t, seq);
+                    seq += 1;
+                    cal.push(e);
+                    oracle.push(e);
+                }
+            }
+            // Drain both completely.
+            loop {
+                let a = cal.pop();
+                let b = oracle.pop();
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert!(cal.is_empty());
+        }
+    }
+}

@@ -5,6 +5,15 @@
 //! * Events are totally ordered by `(time, sequence)`; the sequence number is
 //!   assigned at scheduling time, which makes simultaneous events fire in
 //!   scheduling order and keeps runs deterministic.
+//! * The pending set lives in an indexed calendar queue (see
+//!   [`crate::calendar`]) holding 24-byte `(time, seq, id)` entries; event
+//!   bodies sit in a slab recycled through a free list, so the steady-state
+//!   loop schedules and retires events without allocating.
+//! * Consecutive same-timestamp messages to one component are delivered as
+//!   a single batch: the component is checked out of its slot once and
+//!   receives the run through [`Component::on_batch`] (default: a loop over
+//!   [`Component::on_msg`]), which spares the per-event slot bookkeeping on
+//!   burst traffic.
 //! * Components are owned by the engine in a slab. During dispatch the
 //!   target component is temporarily moved out, so a component may freely
 //!   schedule messages (including to itself) through [`Ctx`] without
@@ -13,12 +22,12 @@
 //!   payload types and downcasts on receipt (see [`Msg::downcast`]).
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cell::Cell;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::calendar::{CalEntry, CalendarQueue};
 use crate::time::SimTime;
 
 /// Identifies a component registered with an [`Engine`].
@@ -86,6 +95,27 @@ pub struct PendingWork {
     pub waiting_on: Option<ComponentId>,
 }
 
+/// A run of same-timestamp messages delivered to one component in one
+/// [`Component::on_batch`] call. Draining it yields the messages in their
+/// original `(time, seq)` order.
+pub struct MsgBatch<'a> {
+    /// The run, stored in *reverse* delivery order so `next_msg` is a
+    /// plain `pop`.
+    msgs: &'a mut Vec<Msg>,
+}
+
+impl MsgBatch<'_> {
+    /// Takes the next message of the batch, if any.
+    pub fn next_msg(&mut self) -> Option<Msg> {
+        self.msgs.pop()
+    }
+
+    /// Messages not yet taken.
+    pub fn remaining(&self) -> usize {
+        self.msgs.len()
+    }
+}
+
 /// A simulated hardware or software entity driven by timestamped messages.
 ///
 /// The `Any` supertrait allows [`Engine::component`] to hand back concrete
@@ -94,13 +124,28 @@ pub trait Component: Any {
     /// Handles one message delivered at the current simulation time.
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg);
 
-    /// Work this component considers unfinished, for
+    /// Handles a run of same-timestamp messages in one call. The engine
+    /// uses this when several queued messages share a timestamp and a
+    /// target; the default forwards each message to
+    /// [`Component::on_msg`] in order, so implementors only override it
+    /// when they can exploit the batch (e.g. coalescing bookkeeping).
+    /// Messages left in the batch are delivered through `on_msg` by the
+    /// engine afterwards — none are dropped.
+    fn on_batch(&mut self, ctx: &mut Ctx<'_>, batch: &mut MsgBatch<'_>) {
+        while let Some(msg) = batch.next_msg() {
+            self.on_msg(ctx, msg);
+        }
+    }
+
+    /// Appends work this component considers unfinished, for
     /// [`Engine::deadlock_report`]. A component with queued requests,
-    /// unacknowledged transactions, or undelivered grants should report
+    /// unacknowledged transactions, or undelivered grants should push
     /// them here; the default (no pending work) suits pure sinks and
-    /// stateless components.
-    fn outstanding(&self) -> Vec<PendingWork> {
-        Vec::new()
+    /// stateless components. Taking an out-parameter (rather than
+    /// returning a `Vec`) lets the deadlock scan reuse one buffer across
+    /// every component instead of allocating per call.
+    fn outstanding(&self, out: &mut Vec<PendingWork>) {
+        let _ = out;
     }
 }
 
@@ -109,38 +154,38 @@ enum EventKind {
     Call(Box<dyn FnOnce(&mut Engine)>),
 }
 
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
+/// One slab slot: an event body, or a link in the free list.
+enum Slot {
+    Occupied(EventKind),
+    Vacant { next_free: u32 },
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// Free-list terminator.
+const NO_FREE: u32 = u32::MAX;
+
+thread_local! {
+    /// Events dispatched by engines that finished on this thread; see
+    /// [`thread_events_dispatched`].
+    static THREAD_EVENTS: Cell<u64> = const { Cell::new(0) };
 }
 
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to pop the earliest event first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
+/// Total events dispatched by every [`Engine`] *dropped* on the calling
+/// thread so far. The experiment harness samples this around a scenario to
+/// compute events/second; engines flush their counter on drop, so the
+/// delta is exact once a scenario's engines have been torn down.
+pub fn thread_events_dispatched() -> u64 {
+    THREAD_EVENTS.with(|c| c.get())
 }
 
 /// Engine state shared with components during dispatch.
 struct EngineCore {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Event>,
+    queue: CalendarQueue,
+    /// Event bodies, indexed by the calendar entries' `id`.
+    slab: Vec<Slot>,
+    /// Head of the vacant-slot chain threaded through `slab`.
+    free_head: u32,
     rng: StdRng,
     events_dispatched: u64,
 }
@@ -150,18 +195,60 @@ impl EngineCore {
         debug_assert!(time >= self.now, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { time, seq, kind });
+        let id = if self.free_head != NO_FREE {
+            let id = self.free_head;
+            match std::mem::replace(&mut self.slab[id as usize], Slot::Occupied(kind)) {
+                Slot::Vacant { next_free } => self.free_head = next_free,
+                Slot::Occupied(_) => unreachable!("free list pointed at an occupied slot"),
+            }
+            id
+        } else {
+            self.slab.push(Slot::Occupied(kind));
+            (self.slab.len() - 1) as u32
+        };
+        self.queue.push(CalEntry {
+            time: time.as_ps(),
+            seq,
+            id,
+        });
+    }
+
+    /// Retires slab slot `id`, returning its event body.
+    fn take(&mut self, id: u32) -> EventKind {
+        let slot = std::mem::replace(
+            &mut self.slab[id as usize],
+            Slot::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = id;
+        match slot {
+            Slot::Occupied(kind) => kind,
+            Slot::Vacant { .. } => unreachable!("queue entry pointed at a vacant slot"),
+        }
+    }
+
+    /// Whether queue entry `e` is a message for `target` (used to extend
+    /// a delivery batch without retiring the slot yet).
+    fn is_message_for(&self, e: CalEntry, target: ComponentId) -> bool {
+        matches!(
+            &self.slab[e.id as usize],
+            Slot::Occupied(EventKind::Message { target: t, .. }) if *t == target
+        )
     }
 }
 
 /// One recorded dispatch, kept by the engine's trace ring.
+///
+/// The target is stored as a [`ComponentId`] (not a name clone); resolve
+/// it with [`Engine::trace_target_name`] when rendering.
 #[derive(Debug, Clone)]
 pub struct TraceEntry {
     /// Dispatch time.
     pub at: SimTime,
-    /// Target component name (`<call>` for harness closures).
-    pub target: String,
-    /// Payload type name (`<closure>` for harness closures).
+    /// Target component (`None` for harness closures).
+    pub target: Option<ComponentId>,
+    /// Payload type name (`"<closure>"` for harness closures).
     pub payload: &'static str,
 }
 
@@ -171,6 +258,8 @@ pub struct Engine {
     components: Vec<Option<Box<dyn Component>>>,
     names: Vec<String>,
     trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
+    /// Reusable buffer for batched same-timestamp delivery.
+    batch_buf: Vec<Msg>,
 }
 
 impl Engine {
@@ -180,19 +269,24 @@ impl Engine {
             core: EngineCore {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: CalendarQueue::new(),
+                slab: Vec::new(),
+                free_head: NO_FREE,
                 rng: StdRng::seed_from_u64(seed),
                 events_dispatched: 0,
             },
             components: Vec::new(),
             names: Vec::new(),
             trace: None,
+            batch_buf: Vec::new(),
         }
     }
 
     /// Enables the dispatch trace ring, keeping the last `capacity`
-    /// events. Costs one allocation per dispatch; leave off in
-    /// experiments, turn on to debug a stuck or misbehaving model.
+    /// events. Entries are two words plus a timestamp (the target is an
+    /// interned [`ComponentId`]), so the ring costs no allocation per
+    /// dispatch; leave off in experiments, turn on to debug a stuck or
+    /// misbehaving model.
     ///
     /// # Panics
     ///
@@ -205,23 +299,27 @@ impl Engine {
         ));
     }
 
-    /// The recorded trace, oldest first (empty unless enabled).
-    pub fn trace(&self) -> Vec<TraceEntry> {
-        self.trace
-            .as_ref()
-            .map(|(_, ring)| ring.iter().cloned().collect())
-            .unwrap_or_default()
+    /// The recorded trace entries, oldest first (empty unless enabled).
+    /// Borrows from the ring instead of cloning it; use
+    /// [`Engine::trace_target_name`] to render targets.
+    pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.trace.iter().flat_map(|(_, ring)| ring.iter())
     }
 
-    fn record_trace(&mut self, at: SimTime, target_idx: Option<usize>, payload: &'static str) {
+    /// Resolves a trace entry's target to its registered name
+    /// (`"<call>"` for harness closures).
+    pub fn trace_target_name(&self, entry: &TraceEntry) -> &str {
+        match entry.target {
+            Some(id) => &self.names[id.index()],
+            None => "<call>",
+        }
+    }
+
+    fn record_trace(&mut self, at: SimTime, target: Option<ComponentId>, payload: &'static str) {
         if let Some((cap, ring)) = self.trace.as_mut() {
             if ring.len() == *cap {
                 ring.pop_front();
             }
-            let target = match target_idx {
-                Some(i) => self.names[i].clone(),
-                None => "<call>".to_string(),
-            };
             ring.push_back(TraceEntry {
                 at,
                 target,
@@ -344,41 +442,88 @@ impl Engine {
         &mut self.core.rng
     }
 
-    fn dispatch(&mut self, event: Event) {
-        self.core.now = event.time;
-        self.core.events_dispatched += 1;
-        match event.kind {
-            EventKind::Message { target, msg } => {
-                if self.trace.is_some() {
-                    self.record_trace(event.time, Some(target.index()), msg.type_name());
-                }
-                // The engine is single-threaded and dispatch cannot
-                // reenter, so the slot is always occupied here.
-                #[allow(clippy::expect_used)]
-                let mut component = self.components[target.index()]
-                    .take()
-                    .expect("component received a message while mid-dispatch");
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    self_id: target,
-                };
-                component.on_msg(&mut ctx, msg);
-                self.components[target.index()] = Some(component);
-            }
+    fn dispatch(&mut self, entry: CalEntry) {
+        let time = SimTime::from_ps(entry.time);
+        self.core.now = time;
+        match self.core.take(entry.id) {
+            EventKind::Message { target, msg } => self.dispatch_messages(time, target, msg),
             EventKind::Call(f) => {
+                self.core.events_dispatched += 1;
                 if self.trace.is_some() {
-                    self.record_trace(event.time, None, "<closure>");
+                    self.record_trace(time, None, "<closure>");
                 }
                 f(self)
             }
         }
     }
 
-    /// Runs one event; returns `false` when the queue is empty.
+    /// Delivers `first` plus any directly following queued messages that
+    /// share its timestamp and target, checking the component out of its
+    /// slot once for the whole run.
+    fn dispatch_messages(&mut self, time: SimTime, target: ComponentId, first: Msg) {
+        // Collect the run. Only *already queued* events join the batch;
+        // messages the handler schedules for the same timestamp keep
+        // their larger sequence numbers and fire in global order later.
+        debug_assert!(self.batch_buf.is_empty());
+        self.batch_buf.push(first);
+        while let Some(next) = self.core.queue.peek() {
+            if next.time != time.as_ps() || !self.core.is_message_for(next, target) {
+                break;
+            }
+            let Some(e) = self.core.queue.pop() else {
+                break;
+            };
+            match self.core.take(e.id) {
+                EventKind::Message { msg, .. } => self.batch_buf.push(msg),
+                EventKind::Call(_) => unreachable!("is_message_for matched a closure"),
+            }
+        }
+        let n = self.batch_buf.len();
+        self.core.events_dispatched += n as u64;
+        if self.trace.is_some() {
+            for i in 0..n {
+                self.record_trace(time, Some(target), self.batch_buf[i].type_name);
+            }
+        }
+        // The engine is single-threaded and dispatch cannot reenter, so
+        // the slot is always occupied here.
+        #[allow(clippy::expect_used)]
+        let mut component = self.components[target.index()]
+            .take()
+            .expect("component received a message while mid-dispatch");
+        let mut msgs = std::mem::take(&mut self.batch_buf);
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                self_id: target,
+            };
+            if n == 1 {
+                if let Some(msg) = msgs.pop() {
+                    component.on_msg(&mut ctx, msg);
+                }
+            } else {
+                // MsgBatch pops from the back, so flip into reverse
+                // delivery order first.
+                msgs.reverse();
+                let mut batch = MsgBatch { msgs: &mut msgs };
+                component.on_batch(&mut ctx, &mut batch);
+                // Safety net: a partial override must not lose messages.
+                while let Some(msg) = batch.next_msg() {
+                    component.on_msg(&mut ctx, msg);
+                }
+            }
+        }
+        msgs.clear();
+        self.batch_buf = msgs;
+        self.components[target.index()] = Some(component);
+    }
+
+    /// Runs one event; returns `false` when the queue is empty. A batched
+    /// delivery counts as one step even when it retires several events.
     pub fn step(&mut self) -> bool {
         match self.core.queue.pop() {
-            Some(ev) => {
-                self.dispatch(ev);
+            Some(entry) => {
+                self.dispatch(entry);
                 true
             }
             None => false,
@@ -399,11 +544,11 @@ impl Engine {
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         loop {
             match self.core.queue.peek() {
-                Some(ev) if ev.time <= deadline => {}
+                Some(e) if e.time <= deadline.as_ps() => {}
                 _ => break,
             }
-            if let Some(ev) = self.core.queue.pop() {
-                self.dispatch(ev);
+            if let Some(entry) = self.core.queue.pop() {
+                self.dispatch(entry);
             }
         }
         self.core.now
@@ -433,18 +578,21 @@ impl Engine {
         }
         let mut stuck = Vec::new();
         let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut work: Vec<PendingWork> = Vec::new();
         for (idx, slot) in self.components.iter().enumerate() {
             let Some(component) = slot.as_ref() else {
                 continue;
             };
-            for work in component.outstanding() {
-                if let Some(target) = work.waiting_on {
+            work.clear();
+            component.outstanding(&mut work);
+            for w in work.drain(..) {
+                if let Some(target) = w.waiting_on {
                     edges.push((idx, target.index()));
                 }
                 stuck.push(StuckComponent {
                     component: self.names[idx].clone(),
-                    what: work.what,
-                    waiting_on: work.waiting_on.map(|t| self.names[t.index()].clone()),
+                    what: w.what,
+                    waiting_on: w.waiting_on.map(|t| self.names[t.index()].clone()),
                 });
             }
         }
@@ -458,6 +606,12 @@ impl Engine {
                 .collect(),
             stuck,
         })
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        THREAD_EVENTS.with(|c| c.set(c.get() + self.core.events_dispatched));
     }
 }
 
@@ -730,11 +884,11 @@ mod tests {
     impl Component for Waiter {
         fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {}
 
-        fn outstanding(&self) -> Vec<PendingWork> {
-            vec![PendingWork {
+        fn outstanding(&self, out: &mut Vec<PendingWork>) {
+            out.push(PendingWork {
                 what: self.what.to_string(),
                 waiting_on: self.on,
-            }]
+            });
         }
     }
 
@@ -859,11 +1013,87 @@ mod tests {
             engine.post(rec, SimTime::from_ns(i as f64), i);
         }
         engine.run_until_idle();
-        let trace = engine.trace();
+        let trace: Vec<&TraceEntry> = engine.trace().collect();
         assert_eq!(trace.len(), 3, "ring keeps only the last 3");
         assert_eq!(trace[2].at, SimTime::from_ns(9.0));
-        assert_eq!(trace[0].target, "rec");
+        assert_eq!(engine.trace_target_name(trace[0]), "rec");
         assert!(trace[0].payload.contains("u32"));
+    }
+
+    /// A component that counts how many messages arrive per batch call.
+    struct BatchCounter {
+        batches: Vec<usize>,
+        singles: u32,
+    }
+
+    impl Component for BatchCounter {
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {
+            self.singles += 1;
+        }
+
+        fn on_batch(&mut self, ctx: &mut Ctx<'_>, batch: &mut MsgBatch<'_>) {
+            self.batches.push(batch.remaining());
+            while let Some(msg) = batch.next_msg() {
+                self.on_msg(ctx, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn same_timestamp_runs_deliver_as_one_batch() {
+        let mut engine = Engine::new(0);
+        let c = engine.add_component(
+            "c",
+            BatchCounter {
+                batches: vec![],
+                singles: 0,
+            },
+        );
+        let other = engine.add_component("rec", Recorder { log: vec![] });
+        // Three same-time messages to `c`, then one to another component,
+        // then one more to `c` (the run is broken by the interloper's seq).
+        engine.post(c, SimTime::from_ns(5.0), 1u32);
+        engine.post(c, SimTime::from_ns(5.0), 2u32);
+        engine.post(c, SimTime::from_ns(5.0), 3u32);
+        engine.post(other, SimTime::from_ns(5.0), 4u32);
+        engine.post(c, SimTime::from_ns(5.0), 5u32);
+        engine.run_until_idle();
+        let counter = engine.component::<BatchCounter>(c);
+        assert_eq!(counter.batches, vec![3], "first run batched");
+        assert_eq!(counter.singles, 4, "all four messages delivered");
+        assert_eq!(engine.events_dispatched(), 5);
+    }
+
+    #[test]
+    fn batch_preserves_message_order() {
+        let mut engine = Engine::new(0);
+        let rec = engine.add_component("rec", Recorder { log: vec![] });
+        for i in 0..6u32 {
+            engine.post(rec, SimTime::from_ns(1.0), i);
+        }
+        engine.run_until_idle();
+        let values: Vec<u32> = engine
+            .component::<Recorder>(rec)
+            .log
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn thread_events_counter_flushes_on_drop() {
+        let before = thread_events_dispatched();
+        {
+            let mut engine = Engine::new(0);
+            let rec = engine.add_component("rec", Recorder { log: vec![] });
+            for i in 0..7u32 {
+                engine.post(rec, SimTime::from_ns(i as f64 * 1000.0), i);
+            }
+            engine.run_until_idle();
+            assert_eq!(engine.events_dispatched(), 7);
+        }
+        assert_eq!(thread_events_dispatched() - before, 7);
     }
 
     #[test]

@@ -30,14 +30,15 @@
 //! assert_eq!(engine.now(), SimTime::from_ns(5.0));
 //! ```
 
+pub mod calendar;
 pub mod engine;
 pub mod queueing;
 pub mod stats;
 pub mod time;
 
 pub use engine::{
-    Component, ComponentId, Ctx, DeadlockReport, Engine, Msg, PendingWork, StuckComponent,
-    TraceEntry,
+    thread_events_dispatched, Component, ComponentId, Ctx, DeadlockReport, Engine, Msg, MsgBatch,
+    PendingWork, StuckComponent, TraceEntry,
 };
 pub use queueing::TokenBucket;
 pub use stats::{jain_fairness, Counter, Gauge, Histogram, Summary, SummaryNs};

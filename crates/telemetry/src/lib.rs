@@ -7,16 +7,16 @@
 //! device service. This crate provides the three pieces needed to attribute
 //! latency per hop rather than only at the endpoints:
 //!
-//! * [`trace`] — a [`TraceSink`](trace::TraceSink) collecting span records
+//! * [`trace`] — a [`TraceSink`] collecting span records
 //!   (begin/end in simulated picoseconds, category, track, labels). The
 //!   default sink is a no-op that compiles down to an `Option` check, so
 //!   instrumented components cost nothing when tracing is disabled.
-//!   Causality is carried by [`TraceCtx`](trace::TraceCtx): the
+//!   Causality is carried by [`TraceCtx`]: the
 //!   fabric-unique transaction id (`(node << 48) | seq`, allocated by the
 //!   FHA) doubles as the trace id, so every hop that sees a transaction or
 //!   one of its data slots tags its span with the same id — no protocol
 //!   struct grows a field.
-//! * [`metrics`] — a [`MetricsRegistry`](metrics::MetricsRegistry)
+//! * [`metrics`] — a [`MetricsRegistry`]
 //!   aggregating the `fcc-sim` `Counter`/`Gauge`/`Histogram` primitives
 //!   under hierarchical dotted names, with merge and JSON snapshot export.
 //! * [`perfetto`] — a deterministic Chrome trace-event JSON writer; load
@@ -35,4 +35,6 @@ pub mod trace;
 
 pub use metrics::{MetricValue, MetricsRegistry};
 pub use report::TraceData;
-pub use trace::{record_deadlock, SpanKind, SpanRecord, TraceCtx, TraceSink, Track};
+pub use trace::{
+    record_deadlock, LabelId, SpanKind, SpanRecord, TraceCtx, TraceDump, TraceSink, Track,
+};

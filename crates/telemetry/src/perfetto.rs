@@ -63,7 +63,7 @@ impl TraceSink {
                         ps_as_us(span.begin_ps),
                         ps_as_us(span.end_ps - span.begin_ps),
                         crate::json::escape(span.cat),
-                        crate::json::escape(&span.name),
+                        crate::json::escape(buf.labels.get(span.name.0 as usize).map_or("", |s| s)),
                     ),
                     SpanKind::Instant => format!(
                         "{{\"ph\": \"i\", \"pid\": {}, \"tid\": {}, \"ts\": {}, \"s\": \"t\", \
@@ -72,7 +72,7 @@ impl TraceSink {
                         span.tid,
                         ps_as_us(span.begin_ps),
                         crate::json::escape(span.cat),
-                        crate::json::escape(&span.name),
+                        crate::json::escape(buf.labels.get(span.name.0 as usize).map_or("", |s| s)),
                     ),
                 };
                 push(line, &mut out);

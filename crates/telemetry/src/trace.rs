@@ -54,6 +54,14 @@ pub enum SpanKind {
     Instant,
 }
 
+/// An interned span label: an index into the sink's label table.
+///
+/// Emitting a span stores this `u32` instead of cloning the label
+/// `String`; the human-readable text is resolved at export time via
+/// [`TraceSink::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(pub u32);
+
 /// One recorded span.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
@@ -63,8 +71,8 @@ pub struct SpanRecord {
     pub tid: u32,
     /// Category (`"credit"`, `"link"`, `"switch"`, `"fha"`, …).
     pub cat: &'static str,
-    /// Human-readable label.
-    pub name: String,
+    /// Interned human-readable label; resolve with [`TraceSink::label`].
+    pub name: LabelId,
     /// Begin time in simulated picoseconds.
     pub begin_ps: u64,
     /// End time in simulated picoseconds (equals `begin_ps` for instants).
@@ -83,11 +91,28 @@ pub(crate) struct TraceBuf {
     /// global (not per process) so a `Track` handle is a single integer.
     pub(crate) tracks: Vec<(u32, String)>,
     pub(crate) spans: Vec<SpanRecord>,
+    /// Label table; `LabelId` = index. Labels are interned in first-use
+    /// order, so the table's order is itself deterministic.
+    pub(crate) labels: Vec<String>,
+    /// Reverse map for interning (label text → id).
+    label_index: std::collections::HashMap<String, u32>,
     /// Index of the last span pushed per `(track, category)`, for
     /// coalesced emission. Keyed by category so alternating emissions on
     /// one track (a credit wait between two serialize slots) don't break
     /// a burst's merge chain.
     last_by_tid: std::collections::HashMap<(u32, &'static str), usize>,
+}
+
+impl TraceBuf {
+    fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.label_index.get(name) {
+            return LabelId(id);
+        }
+        let id = self.labels.len() as u32;
+        self.labels.push(name.to_string());
+        self.label_index.insert(name.to_string(), id);
+        LabelId(id)
+    }
 }
 
 /// A shared trace buffer handle. Cloning is cheap (an `Rc` bump); all
@@ -174,6 +199,78 @@ impl TraceSink {
         self.with_buf(|b| b.spans.clone()).unwrap_or_default()
     }
 
+    /// Resolves an interned label to its text (empty on a disabled sink
+    /// or an unknown id).
+    pub fn label(&self, id: LabelId) -> String {
+        self.with_buf(|b| b.labels.get(id.0 as usize).cloned())
+            .flatten()
+            .unwrap_or_default()
+    }
+
+    /// Interns a span label, returning its id. Hot emitters that build a
+    /// label with `format!` may intern it once and reuse the id.
+    pub(crate) fn intern(&self, name: &str) -> LabelId {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.borrow_mut().intern(name))
+            .unwrap_or(LabelId(0))
+    }
+
+    /// Consumes this handle and extracts the recorded buffer as a
+    /// [`TraceDump`] that can cross threads. Returns `None` on a disabled
+    /// sink. The caller must have dropped every other handle (tracks,
+    /// clones) first; otherwise the buffer contents are cloned.
+    pub fn into_dump(self) -> Option<TraceDump> {
+        let inner = self.inner?;
+        let buf = match Rc::try_unwrap(inner) {
+            Ok(cell) => cell.into_inner(),
+            // A stray Track still holds the buffer: fall back to cloning.
+            Err(rc) => {
+                let b = rc.borrow();
+                TraceBuf {
+                    processes: b.processes.clone(),
+                    tracks: b.tracks.clone(),
+                    spans: b.spans.clone(),
+                    labels: b.labels.clone(),
+                    label_index: Default::default(),
+                    last_by_tid: Default::default(),
+                }
+            }
+        };
+        Some(TraceDump {
+            processes: buf.processes,
+            tracks: buf.tracks,
+            spans: buf.spans,
+            labels: buf.labels,
+        })
+    }
+
+    /// Appends a [`TraceDump`] to this sink, renumbering its pids, tids,
+    /// and label ids after the sink's own. Absorbing per-scenario dumps
+    /// in scenario order reproduces exactly the buffer a single shared
+    /// sink would have recorded serially — the determinism hinge of the
+    /// parallel experiment harness. No-op on a disabled sink.
+    pub fn absorb(&self, dump: TraceDump) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut buf = inner.borrow_mut();
+        let pid_off = buf.processes.len() as u32;
+        buf.processes.extend(dump.processes);
+        let tid_off = buf.tracks.len() as u32;
+        buf.tracks
+            .extend(dump.tracks.into_iter().map(|(p, n)| (p + pid_off, n)));
+        // Interning the dump's labels in table order reproduces the
+        // first-use order a serial run would have produced.
+        let label_map: Vec<LabelId> = dump.labels.iter().map(|l| buf.intern(l)).collect();
+        buf.spans.extend(dump.spans.into_iter().map(|mut s| {
+            s.pid += pid_off;
+            s.tid += tid_off;
+            s.name = label_map[s.name.0 as usize];
+            s
+        }));
+    }
+
     pub(crate) fn with_buf<R>(&self, f: impl FnOnce(&TraceBuf) -> R) -> Option<R> {
         self.inner.as_ref().map(|inner| f(&inner.borrow()))
     }
@@ -218,6 +315,24 @@ impl TraceSink {
     }
 }
 
+/// An owned, thread-transferable snapshot of a recording sink's buffer.
+///
+/// Produced by [`TraceSink::into_dump`] on a worker thread (where the
+/// `Rc`-based sink itself cannot travel) and re-attached to a main-thread
+/// sink with [`TraceSink::absorb`]. All ids (pids, tids, label ids) are
+/// local to the dump; `absorb` renumbers them.
+#[derive(Debug)]
+pub struct TraceDump {
+    /// Process names; dump-local pid = index.
+    pub processes: Vec<String>,
+    /// Track registry (dump-local pid, name); dump-local tid = index.
+    pub tracks: Vec<(u32, String)>,
+    /// Recorded spans with dump-local ids.
+    pub spans: Vec<SpanRecord>,
+    /// Label table; dump-local `LabelId` = index.
+    pub labels: Vec<String>,
+}
+
 /// A component's handle onto one track of a [`TraceSink`].
 ///
 /// The default value is permanently disabled, so components can hold a
@@ -258,7 +373,7 @@ impl Track {
             pid: self.pid(),
             tid: self.tid,
             cat,
-            name: name.to_string(),
+            name: self.sink.intern(name),
             begin_ps: begin.as_ps(),
             end_ps: end.as_ps().max(begin.as_ps()),
             kind: SpanKind::Complete,
@@ -285,7 +400,7 @@ impl Track {
             pid: self.pid(),
             tid: self.tid,
             cat,
-            name: name.to_string(),
+            name: self.sink.intern(name),
             begin_ps: begin.as_ps(),
             end_ps: end.as_ps().max(begin.as_ps()),
             kind: SpanKind::Complete,
@@ -332,7 +447,7 @@ impl Track {
             pid: self.pid(),
             tid: self.tid,
             cat,
-            name: name.to_string(),
+            name: self.sink.intern(name),
             begin_ps: at.as_ps(),
             end_ps: at.as_ps(),
             kind: SpanKind::Instant,
@@ -574,6 +689,59 @@ mod tests {
         assert_eq!(sink.span_count(), 1);
     }
 
+    /// Emits a small scenario's worth of spans into `sink` under the
+    /// given process name, with labels shared across scenarios.
+    fn emit_scenario(sink: &TraceSink, process: &str, salt: u64) {
+        sink.begin_process(process);
+        let t = sink.track("fha1");
+        t.span(
+            "fha",
+            "rtt",
+            SimTime::from_ns(salt as f64),
+            SimTime::from_ns(salt as f64 + 10.0),
+            TraceCtx::new(salt + 1),
+        );
+        let u = sink.track("port");
+        u.instant(
+            "link",
+            &format!("evt-{process}"),
+            SimTime::ZERO,
+            TraceCtx::NONE,
+        );
+        u.instant("link", "shared-label", SimTime::ZERO, TraceCtx::NONE);
+    }
+
+    #[test]
+    fn absorbed_dumps_reproduce_the_serial_buffer_byte_for_byte() {
+        // Serial reference: one sink records both scenarios directly.
+        let serial = TraceSink::recording();
+        emit_scenario(&serial, "s0", 100);
+        emit_scenario(&serial, "s1", 200);
+
+        // Parallel shape: each scenario records into its own sink; the
+        // dumps are absorbed in scenario order.
+        let merged = TraceSink::recording();
+        for (process, salt) in [("s0", 100), ("s1", 200)] {
+            let local = TraceSink::recording();
+            emit_scenario(&local, process, salt);
+            let dump = local.into_dump().expect("recording sink dumps");
+            merged.absorb(dump);
+        }
+
+        assert_eq!(serial.to_chrome_json(), merged.to_chrome_json());
+    }
+
+    #[test]
+    fn into_dump_with_live_track_falls_back_to_clone() {
+        let sink = TraceSink::recording();
+        let t = sink.track("t");
+        t.instant("c", "x", SimTime::ZERO, TraceCtx::NONE);
+        // `t` still holds an Rc clone of the buffer.
+        let dump = sink.clone().into_dump().expect("dump");
+        assert_eq!(dump.spans.len(), 1);
+        assert_eq!(dump.labels, vec!["x".to_string()]);
+    }
+
     #[test]
     fn deadlock_report_lands_in_trace_and_metrics() {
         let report = DeadlockReport {
@@ -590,9 +758,9 @@ mod tests {
         let spans = sink.spans();
         assert_eq!(spans.len(), 2, "one stuck component + one cycle");
         assert!(spans.iter().all(|s| s.cat == "deadlock"));
-        assert!(spans[0].name.contains("fha1"));
-        assert!(spans[0].name.contains("waiting on fs0"));
-        assert!(spans[1].name.contains("wait-for cycle"));
+        assert!(sink.label(spans[0].name).contains("fha1"));
+        assert!(sink.label(spans[0].name).contains("waiting on fs0"));
+        assert!(sink.label(spans[1].name).contains("wait-for cycle"));
         assert_eq!(metrics.counter("sim.deadlock.stuck_components"), Some(1));
         assert_eq!(metrics.counter("sim.deadlock.cycles"), Some(1));
     }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Wall-clock regression gate: measures every experiment scenario (median
+# of 3 runs) and compares against the committed baseline in
+# BENCH_experiments.json, failing on a >25% wall-clock regression or any
+# event-count drift (event counts are deterministic, so drift means the
+# simulation changed, not the machine).
+#
+# The comparison report lands in $BENCH_ARTIFACT_DIR (default
+# target/bench-gate) for CI to upload. Knobs:
+#   BENCH_GATE_TOLERANCE  allowed wall-clock regression, percent (25)
+#   BENCH_GATE_RUNS       runs per scenario, median taken (3)
+#
+# After an intentional perf change, refresh the baseline with
+#   cargo run --release -p fcc-bench --bin bench_gate -- update
+# and commit BENCH_experiments.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+artifacts="${BENCH_ARTIFACT_DIR:-target/bench-gate}"
+tolerance="${BENCH_GATE_TOLERANCE:-25}"
+runs="${BENCH_GATE_RUNS:-3}"
+mkdir -p "$artifacts"
+
+echo "==> build (release)"
+cargo build --release -p fcc-bench --bin bench_gate
+
+echo "==> bench gate (median of $runs runs, tolerance ${tolerance}%)"
+./target/release/bench_gate check \
+    --baseline BENCH_experiments.json \
+    --runs "$runs" \
+    --tolerance "$tolerance" \
+    --report "$artifacts/bench-comparison.json"
+
+echo "bench gate passed; report at $artifacts/bench-comparison.json"

@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings, unwrap/expect banned in library code)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (deny warnings: broken intra-doc links fail the gate)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo test"
 cargo test --workspace -q
 

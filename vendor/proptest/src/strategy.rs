@@ -101,7 +101,7 @@ macro_rules! impl_tuple_strategy {
 
 impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
 
-/// Length bounds for [`vec`], half-open.
+/// Length bounds for [`vec()`], half-open.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
