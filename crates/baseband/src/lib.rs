@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! The §5 case study: a software MIMO baseband processing engine.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Experiment harness: regenerates every table, figure, and quantified
 //! in-text claim of the paper.

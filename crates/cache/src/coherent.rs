@@ -6,7 +6,7 @@
 //! (`SnpData`, `SnpInv`) — the host half of the protocol whose device half
 //! is [`fcc_memnode::ccnuma::DirectoryNode`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fcc_fabric::adapter::{HostCompletion, HostOp, HostRequest, SnoopMsg, SnoopReply};
 use fcc_proto::channel::TransactionKind;
@@ -54,10 +54,10 @@ pub struct CoherentL1 {
     fha: ComponentId,
     capacity_lines: usize,
     hit_latency: SimTime,
-    lines: HashMap<u64, LineState>,
+    lines: BTreeMap<u64, LineState>,
     /// LRU order (front = coldest).
     lru: Vec<u64>,
-    outstanding: HashMap<u64, Pending>,
+    outstanding: BTreeMap<u64, Pending>,
     next_tag: u64,
     /// Local hits.
     pub hits: Counter,
@@ -84,9 +84,9 @@ impl CoherentL1 {
             fha,
             capacity_lines,
             hit_latency,
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
             lru: Vec::new(),
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             next_tag: 0,
             hits: Counter::new(),
             misses: Counter::new(),

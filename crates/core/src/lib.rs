@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! UniFabric: the FCC runtime (the paper's contribution, §4–§5).
 //!

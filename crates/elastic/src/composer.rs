@@ -21,7 +21,7 @@
 //!   node's resident objects and stranding in-flight operations.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use fcc_core::etrans::{
@@ -90,7 +90,7 @@ pub struct ClusterState {
     /// Objects a drain could not place anywhere.
     pub stranded_objects: u64,
     /// Outstanding evacuation jobs per draining heap index.
-    pending_evac: HashMap<usize, usize>,
+    pending_evac: BTreeMap<usize, usize>,
     /// Switch port of each device (parallel to `topo.devices`).
     port_of: Vec<usize>,
     next_node: u16,
@@ -249,7 +249,7 @@ impl ElasticCluster {
             evac_jobs: 0,
             evac_bytes: 0,
             stranded_objects: 0,
-            pending_evac: HashMap::new(),
+            pending_evac: BTreeMap::new(),
             port_of,
             next_node,
             next_addr,

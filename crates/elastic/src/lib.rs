@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Online fabric composition for FCC: hot-add, drain + hot-remove, and
 //! failure-triggered evacuation.

@@ -11,7 +11,7 @@
 //! [`deadlock_report`](fcc_sim::Engine::deadlock_report).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use fcc_core::heap::FabricBox;
@@ -35,7 +35,7 @@ pub struct HeapLoadGen {
     zipf: ZipfStream,
     window: usize,
     stop_at: SimTime,
-    in_flight: HashMap<u64, (FabricBox, SimTime)>,
+    in_flight: BTreeMap<u64, (FabricBox, SimTime)>,
     next_tag: u64,
     /// Completed-operation latency (ps).
     pub latency: Histogram,
@@ -74,7 +74,7 @@ impl HeapLoadGen {
             zipf,
             window,
             stop_at,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             next_tag: 0,
             latency: Histogram::new(),
             issued: Counter::new(),

@@ -9,7 +9,7 @@
 //! images of every object still resident on the yanked node. Checksums
 //! before and after a churn cycle prove byte-identical survival.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fcc_core::heap::FabricBox;
 
@@ -35,7 +35,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// Per-object byte images keyed by heap handle.
 #[derive(Debug, Default, Clone)]
 pub struct ShadowStore {
-    data: HashMap<FabricBox, Vec<u8>>,
+    data: BTreeMap<FabricBox, Vec<u8>>,
 }
 
 impl ShadowStore {
@@ -96,7 +96,7 @@ impl ShadowStore {
     }
 
     /// Checksums of every live image (for before/after comparison).
-    pub fn checksums(&self) -> HashMap<FabricBox, u64> {
+    pub fn checksums(&self) -> BTreeMap<FabricBox, u64> {
         self.data.iter().map(|(&o, b)| (o, fnv1a(b))).collect()
     }
 }

@@ -3,7 +3,7 @@
 //! credit-ledger balance at quiescence after arbitrary add/remove
 //! sequences.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fcc_core::heap::{FabricBox, NodeState, PlacementHint};
 use fcc_elastic::{DrainReason, ElasticCluster};
@@ -49,7 +49,7 @@ fn objects_survive_drain_remove_readd_cycle_byte_identically() {
     let mut engine = Engine::new(0xC1C);
     let cluster = build(&mut engine, 2);
     let objs = populate(&cluster, 8, 4096);
-    let before: HashMap<FabricBox, u64> = cluster.state().borrow().store.checksums();
+    let before: BTreeMap<FabricBox, u64> = cluster.state().borrow().store.checksums();
 
     // All objects land on one node (identical tiers, stable order).
     let first = cluster

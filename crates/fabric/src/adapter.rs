@@ -9,7 +9,7 @@
 //! hierarchy, the UniFabric runtime); the [`Fea`] terminates the fabric at
 //! a device implementing [`Endpoint`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use fcc_proto::addr::{AddrMap, NodeId};
 use fcc_proto::channel::{MemOpcode, Transaction, TransactionKind};
@@ -191,7 +191,7 @@ pub struct Fha {
     addr_map: AddrMap,
     max_outstanding: usize,
     next_txn: u64,
-    outstanding: HashMap<u64, PendingReq>,
+    outstanding: BTreeMap<u64, PendingReq>,
     waitq: VecDeque<(HostRequest, SimTime)>,
     snoop_handler: Option<ComponentId>,
     trace: Track,
@@ -223,7 +223,7 @@ impl Fha {
             addr_map,
             max_outstanding: max_outstanding.max(1),
             next_txn: 0,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             waitq: VecDeque::new(),
             snoop_handler: None,
             trace: Track::default(),
@@ -551,7 +551,7 @@ pub struct Fea {
     node: NodeId,
     port: LinkPort,
     device: Box<dyn Endpoint>,
-    reassembly: HashMap<u64, Reassembly>,
+    reassembly: BTreeMap<u64, Reassembly>,
     queue_depth: usize,
     in_service: usize,
     waiting: VecDeque<(Transaction, SimTime)>,
@@ -598,7 +598,7 @@ impl Fea {
             node,
             port: LinkPort::new(phys, credit),
             device,
-            reassembly: HashMap::new(),
+            reassembly: BTreeMap::new(),
             queue_depth,
             in_service: 0,
             waiting: VecDeque::new(),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! The composable infrastructure: adapters, switches, routing, and the
 //! central fabric arbiter.

@@ -9,7 +9,7 @@
 //! switch graph, and installs PBR entries — all via timed messages, so
 //! discovery cost is visible in experiment F1.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fcc_proto::addr::NodeId;
 use fcc_sim::{Component, ComponentId, Ctx, Msg, SimTime};
@@ -47,9 +47,9 @@ pub struct FabricManager {
     phase: Phase,
     started_at: SimTime,
     /// switch → peers (by port index).
-    discovered: HashMap<ComponentId, Vec<ComponentId>>,
+    discovered: BTreeMap<ComponentId, Vec<ComponentId>>,
     /// endpoint component → (node, is_host).
-    endpoints: HashMap<ComponentId, (NodeId, bool)>,
+    endpoints: BTreeMap<ComponentId, (NodeId, bool)>,
     pending_identify: usize,
     routes_installed: usize,
 }
@@ -63,8 +63,8 @@ impl FabricManager {
             subscriber,
             phase: Phase::Idle,
             started_at: SimTime::ZERO,
-            discovered: HashMap::new(),
-            endpoints: HashMap::new(),
+            discovered: BTreeMap::new(),
+            endpoints: BTreeMap::new(),
             pending_identify: 0,
             routes_installed: 0,
         }
@@ -76,7 +76,7 @@ impl FabricManager {
     }
 
     /// Discovered endpoints (valid once done).
-    pub fn endpoints(&self) -> &HashMap<ComponentId, (NodeId, bool)> {
+    pub fn endpoints(&self) -> &BTreeMap<ComponentId, (NodeId, bool)> {
         &self.endpoints
     }
 
@@ -113,9 +113,9 @@ impl FabricManager {
     /// port for every endpoint.
     fn install_routes(&mut self, ctx: &mut Ctx<'_>) {
         // Adjacency: switch → (port, neighbor switch).
-        let mut adj: HashMap<ComponentId, Vec<(usize, ComponentId)>> = HashMap::new();
+        let mut adj: BTreeMap<ComponentId, Vec<(usize, ComponentId)>> = BTreeMap::new();
         // Attachment: switch → (port, endpoint node).
-        let mut attached: HashMap<ComponentId, Vec<(usize, NodeId)>> = HashMap::new();
+        let mut attached: BTreeMap<ComponentId, Vec<(usize, NodeId)>> = BTreeMap::new();
         for (&sw, peers) in &self.discovered {
             for (port, &peer) in peers.iter().enumerate() {
                 if self.discovered.contains_key(&peer) {
@@ -127,7 +127,7 @@ impl FabricManager {
         }
         for &start in &self.switches {
             // BFS giving, for every reachable switch, the first-hop port.
-            let mut first_hop: HashMap<ComponentId, usize> = HashMap::new();
+            let mut first_hop: BTreeMap<ComponentId, usize> = BTreeMap::new();
             let mut queue = std::collections::VecDeque::new();
             queue.push_back(start);
             let mut visited: Vec<ComponentId> = vec![start];

@@ -21,7 +21,7 @@
 //!   reservations installed by the central arbiter.
 //! * Adaptive routing picks the least-backlogged candidate port.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -39,7 +39,7 @@ use crate::routing::RoutingTable;
 
 /// Identifies a flow (source endpoint, destination endpoint) for the
 /// arbiter's reservations and the switch's rate enforcement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId {
     /// Originating node.
     pub src: NodeId,
@@ -187,7 +187,7 @@ pub struct FabricSwitch {
     voq: Vec<Vec<VecDeque<Entry>>>,
     rr_input: usize,
     ramp: Vec<Option<RampUpState>>,
-    flows: HashMap<FlowId, TokenBucket>,
+    flows: BTreeMap<FlowId, TokenBucket>,
     tick_armed: bool,
     /// Earliest pending Kick self-message (dedup: one in flight).
     next_kick_at: Option<SimTime>,
@@ -212,7 +212,7 @@ impl FabricSwitch {
             voq: Vec::new(),
             rr_input: 0,
             ramp: Vec::new(),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             tick_armed: false,
             next_kick_at: None,
             trace: Track::default(),

@@ -1,0 +1,418 @@
+//! The grandfathered-findings baseline (`lint_baseline.json`).
+//!
+//! The baseline is a counted multiset of finding keys
+//! (`rule|file|excerpt` — deliberately line-number-free so unrelated
+//! edits don't invalidate it). A current finding whose key has
+//! remaining baseline budget is *baselined* (reported, not fatal);
+//! anything else is *new* and fails the gate. Baseline entries with no
+//! matching current finding are *stale* and reported so the file keeps
+//! shrinking toward empty.
+//!
+//! The file format is ordinary JSON written by `--update-baseline`;
+//! a minimal recursive-descent JSON reader lives here so the linter
+//! stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::report::{json_escape, Finding, RuleId};
+
+/// Parsed baseline: finding key -> allowed count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+/// Result of matching current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct MatchResult {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline — reported as informational.
+    pub baselined: Vec<Finding>,
+    /// Baseline keys (with leftover counts) that matched nothing.
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    /// Parses baseline JSON. Returns `Err` with a human-readable
+    /// message on malformed input (a broken baseline must fail the
+    /// gate loudly, not silently allow everything).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = Json::parse(text)?;
+        let mut counts = BTreeMap::new();
+        let entries = value
+            .get("findings")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "baseline: missing \"findings\" array".to_string())?;
+        for e in entries {
+            let rule = e
+                .get("rule")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "baseline entry: missing \"rule\"".to_string())?;
+            let rule = RuleId::parse(rule)
+                .ok_or_else(|| format!("baseline entry: unknown rule {rule:?}"))?;
+            let file = e
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "baseline entry: missing \"file\"".to_string())?;
+            let excerpt = e.get("excerpt").and_then(Json::as_str).unwrap_or("");
+            let count = e.get("count").and_then(Json::as_u64).unwrap_or(1).max(1) as usize;
+            let key = format!("{}|{}|{}", rule.code(), file, excerpt);
+            *counts.entry(key).or_insert(0) += count;
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Number of distinct baselined keys.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the baseline grandfathers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Partitions `findings` into new / baselined, and reports stale
+    /// baseline entries.
+    pub fn match_findings(&self, findings: Vec<Finding>) -> MatchResult {
+        let mut budget = self.counts.clone();
+        let mut out = MatchResult::default();
+        for f in findings {
+            match budget.get_mut(&f.key()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    out.baselined.push(f);
+                }
+                _ => out.new.push(f),
+            }
+        }
+        out.stale = budget
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, _)| k)
+            .collect();
+        out
+    }
+
+    /// Serializes `findings` as fresh baseline JSON (sorted, counted).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.name().to_string(), f.file.clone(), f.excerpt.clone()))
+                .or_insert(0) += 1;
+        }
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, ((rule, file, excerpt), count)) in counts.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"rule\": \"{}\", \"file\": \"{}\", \"excerpt\": \"{}\", \
+                 \"count\": {}}}",
+                json_escape(rule),
+                json_escape(file),
+                json_escape(excerpt),
+                count
+            );
+        }
+        out.push_str(if counts.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+// ------------------------------------------------------------- JSON --
+
+/// Minimal JSON value for reading the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("json: trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("json: unexpected byte at {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("json: bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        core::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("json: bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.i += 1; // opening quote
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| core::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| {
+                                    format!("json: bad \\u escape at byte {}", self.i)
+                                })?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("json: bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                _ => {
+                    // Copy the raw UTF-8 byte run.
+                    let start = self.i;
+                    while self.b.get(self.i).is_some_and(|&c| c != b'"' && c != b'\\') {
+                        self.i += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.b[start..self.i]));
+                }
+            }
+        }
+        Err("json: unterminated string".to_string())
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.i += 1; // [
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Ok(Json::Array(items));
+            }
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {}
+                _ => return Err(format!("json: expected , or ] at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.i += 1; // {
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Ok(Json::Object(fields));
+            }
+            if self.b.get(self.i) != Some(&b'"') {
+                return Err(format!("json: expected key at byte {}", self.i));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return Err(format!("json: expected : at byte {}", self.i));
+            }
+            self.i += 1;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {}
+                _ => return Err(format!("json: expected , or }} at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: RuleId, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 7,
+            excerpt: excerpt.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_matching() {
+        let findings = vec![
+            f(
+                RuleId::PanicInLib,
+                "crates/sim/src/engine.rs",
+                "panic!(\"x\")",
+            ),
+            f(
+                RuleId::PanicInLib,
+                "crates/sim/src/engine.rs",
+                "panic!(\"x\")",
+            ),
+            f(
+                RuleId::EntropyRng,
+                "crates/bench/src/lib.rs",
+                "thread_rng()",
+            ),
+        ];
+        let text = Baseline::render(&findings);
+        let base = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => panic!("parse failed: {e}"),
+        };
+        assert_eq!(base.len(), 2); // two distinct keys, one with count 2
+
+        // All three findings are covered; a fourth identical panic is new.
+        let mut four = findings.clone();
+        four.push(f(
+            RuleId::PanicInLib,
+            "crates/sim/src/engine.rs",
+            "panic!(\"x\")",
+        ));
+        let res = base.match_findings(four);
+        assert_eq!(res.baselined.len(), 3);
+        assert_eq!(res.new.len(), 1);
+        assert!(res.stale.is_empty());
+
+        // Dropping the entropy finding leaves its entry stale.
+        let res = base.match_findings(findings[..2].to_vec());
+        assert_eq!(res.new.len(), 0);
+        assert_eq!(res.stale.len(), 1);
+        assert!(res.stale[0].contains("thread_rng"));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{}").is_err()); // missing findings
+        assert!(
+            Baseline::parse("{\"findings\": [{\"rule\": \"bogus\", \"file\": \"f\"}]}").is_err()
+        );
+    }
+
+    #[test]
+    fn line_drift_does_not_invalidate() {
+        let base = match Baseline::parse(
+            "{\"findings\": [{\"rule\": \"R5\", \"file\": \"a.rs\", \"excerpt\": \"panic!()\"}]}",
+        ) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        };
+        let mut moved = f(RuleId::PanicInLib, "a.rs", "panic!()");
+        moved.line = 999;
+        let res = base.match_findings(vec![moved]);
+        assert!(res.new.is_empty());
+        assert_eq!(res.baselined.len(), 1);
+    }
+}

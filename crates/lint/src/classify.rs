@@ -1,0 +1,152 @@
+//! Crate classification and the layering DAG.
+//!
+//! Every workspace crate is either **deterministic-core** (its code runs
+//! inside the simulation and must be bit-for-bit replayable) or
+//! **measurement/tooling** (it observes wall-clock time, spawns OS
+//! threads, and talks to the host — `fcc-bench`, `fcc-verify`, and this
+//! linter itself). Rules consult the class so that, e.g.,
+//! `Instant::now()` is legal in the bench harness but a gate failure in
+//! `fcc-sim`.
+
+/// Determinism class of a workspace crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateClass {
+    /// Simulation-side code: must be deterministic under a fixed seed.
+    DeterministicCore,
+    /// Harness/verifier/linter code: may observe the host environment.
+    Tooling,
+}
+
+/// What part of a crate a source file belongs to; rules scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` excluding `src/bin` — library code shipped to dependents.
+    Lib,
+    /// `src/bin/**` — binary entry points.
+    Bin,
+    /// `tests/**`, `benches/**`, `examples/**` — never linked into the sim.
+    Test,
+}
+
+/// Classifies a crate by its package name. Unknown `fcc-*` crates
+/// default to `DeterministicCore`: a new simulation crate must opt
+/// *out* of the determinism contract by being added to the tooling
+/// list here, not silently escape it.
+pub fn classify(package: &str) -> CrateClass {
+    match package {
+        "fcc-bench" | "fcc-verify" | "fcc-lint" => CrateClass::Tooling,
+        _ => CrateClass::DeterministicCore,
+    }
+}
+
+/// The allowed `fcc-*` dependency edges, i.e. the layering DAG.
+///
+/// Returns `None` when the crate may depend on every workspace crate
+/// (measurement/tooling and the root facade). Otherwise the returned
+/// slice is the exhaustive allowlist: an edge not listed here is a
+/// layering violation (R6), even if it would not create a cycle —
+/// the point is to keep lower layers ignorant of upper ones.
+pub fn allowed_deps(package: &str) -> Option<&'static [&'static str]> {
+    const NONE: &[&str] = &[];
+    const SIM: &[&str] = &["fcc-sim"];
+    const TELEMETRY: &[&str] = SIM;
+    const WORKLOADS: &[&str] = SIM;
+    const PROTO: &[&str] = &["fcc-sim", "fcc-telemetry"];
+    const FABRIC: &[&str] = &["fcc-sim", "fcc-telemetry", "fcc-proto"];
+    const MEMNODE: &[&str] = &["fcc-sim", "fcc-telemetry", "fcc-proto", "fcc-fabric"];
+    const CACHE: &[&str] = &[
+        "fcc-sim",
+        "fcc-telemetry",
+        "fcc-proto",
+        "fcc-fabric",
+        "fcc-memnode",
+    ];
+    const CORE: &[&str] = &[
+        "fcc-sim",
+        "fcc-telemetry",
+        "fcc-proto",
+        "fcc-fabric",
+        "fcc-memnode",
+        "fcc-cache",
+        "fcc-workloads",
+    ];
+    const UPPER: &[&str] = &[
+        "fcc-sim",
+        "fcc-telemetry",
+        "fcc-proto",
+        "fcc-fabric",
+        "fcc-memnode",
+        "fcc-cache",
+        "fcc-core",
+        "fcc-workloads",
+    ];
+    match package {
+        "fcc-sim" => Some(NONE),
+        "fcc-lint" => Some(NONE),
+        "fcc-telemetry" => Some(TELEMETRY),
+        "fcc-workloads" => Some(WORKLOADS),
+        "fcc-proto" => Some(PROTO),
+        "fcc-fabric" => Some(FABRIC),
+        "fcc-memnode" => Some(MEMNODE),
+        "fcc-cache" => Some(CACHE),
+        "fcc-core" => Some(CORE),
+        "fcc-elastic" | "fcc-baseband" => Some(UPPER),
+        // Tooling and the root facade may depend on anything.
+        "fcc-bench" | "fcc-verify" | "fcc" => None,
+        // An unknown crate gets no fcc deps until it is placed in the
+        // DAG here — same fail-closed posture as `classify`.
+        _ => Some(NONE),
+    }
+}
+
+/// Classifies a file by its path *within* a crate directory
+/// (e.g. `src/lib.rs`, `src/bin/experiments.rs`, `tests/parallel.rs`).
+pub fn file_kind(rel_path: &str) -> FileKind {
+    let p = rel_path.replace('\\', "/");
+    if p.starts_with("tests/") || p.starts_with("benches/") || p.starts_with("examples/") {
+        FileKind::Test
+    } else if p.starts_with("src/bin/") || p == "build.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tooling_crates() {
+        assert_eq!(classify("fcc-bench"), CrateClass::Tooling);
+        assert_eq!(classify("fcc-verify"), CrateClass::Tooling);
+        assert_eq!(classify("fcc-lint"), CrateClass::Tooling);
+    }
+
+    #[test]
+    fn unknown_crates_fail_closed() {
+        assert_eq!(classify("fcc-newthing"), CrateClass::DeterministicCore);
+        assert_eq!(allowed_deps("fcc-newthing"), Some(&[][..]));
+    }
+
+    #[test]
+    fn layering_examples_from_the_contract() {
+        // fcc-proto may depend on fcc-sim but never on fcc-fabric.
+        let proto = allowed_deps("fcc-proto").unwrap_or(&[]);
+        assert!(proto.contains(&"fcc-sim"));
+        assert!(!proto.contains(&"fcc-fabric"));
+        // fcc-sim depends on no fcc crate.
+        assert_eq!(allowed_deps("fcc-sim"), Some(&[][..]));
+        // Tooling is unrestricted.
+        assert_eq!(allowed_deps("fcc-bench"), None);
+    }
+
+    #[test]
+    fn file_kinds() {
+        assert_eq!(file_kind("src/lib.rs"), FileKind::Lib);
+        assert_eq!(file_kind("src/switch.rs"), FileKind::Lib);
+        assert_eq!(file_kind("src/bin/experiments.rs"), FileKind::Bin);
+        assert_eq!(file_kind("tests/parallel.rs"), FileKind::Test);
+        assert_eq!(file_kind("benches/engine.rs"), FileKind::Test);
+    }
+}

@@ -1,0 +1,502 @@
+//! A small, self-contained Rust lexer.
+//!
+//! Produces a token stream of identifiers, punctuation, lifetimes, and
+//! literals with 1-based line spans. String literals (including raw and
+//! byte strings), character literals, and comments (line, block, doc —
+//! block comments nest, as in real Rust) are consumed as single units,
+//! so rule patterns never fire on text *inside* them: a doc comment
+//! mentioning `HashMap` or a log string containing `panic!` is invisible
+//! to the rule engine.
+//!
+//! Suppression comments (`// fcc-lint: allow(rule) -- reason`) are the
+//! one place comment *content* matters; the lexer extracts them into a
+//! side table during the same pass.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+/// Token classification. Rules pattern-match on `Ident` and `Punct`;
+/// the literal kinds exist so that their *content* is skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `in`, `as`, `HashMap`, ...).
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A lifetime such as `'a` (content discarded).
+    Lifetime,
+    /// Numeric literal (content discarded).
+    Number,
+    /// String literal of any flavor (content discarded).
+    Str,
+    /// Character or byte literal (content discarded).
+    Char,
+}
+
+impl TokKind {
+    /// Returns the identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// A `// fcc-lint: allow(rule, ...) -- reason` comment found during
+/// lexing. `rules` holds the names/codes inside `allow(...)`;
+/// `has_reason` records whether a non-empty reason followed `--`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub has_reason: bool,
+}
+
+/// Lexer output: the token stream plus any suppression comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Marker prefix for suppression comments.
+const SUPPRESS_PREFIX: &str = "fcc-lint:";
+
+/// Lexes `src`, returning tokens and suppression comments.
+///
+/// The lexer is intentionally forgiving: unterminated literals consume
+/// to end of input rather than erroring, since the gate must never
+/// crash on code that `rustc` itself would reject with a better
+/// message.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.tokens.push(Token { kind: $kind, line })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            // Line comment (// or ///) — scan for suppression directives.
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                if let Ok(text) = core::str::from_utf8(&b[start..i]) {
+                    parse_suppression(text, line, &mut out.suppressions);
+                }
+            }
+            // Block comment — nests.
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            // Raw string r"..." / r#"..."# and raw identifier r#ident.
+            b'r' if starts_raw_string(b, i) => {
+                i += 1; // past 'r'
+                let mut hashes = 0usize;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                // r#ident (raw identifier): one '#' then ident start, no quote.
+                if i < b.len() && b[i] != b'"' {
+                    let start = i;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    push!(TokKind::Ident(ident_text(b, start, i)));
+                    continue;
+                }
+                let tok_line = line;
+                i += 1; // past opening quote
+                consume_raw_string(b, &mut i, &mut line, hashes);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    line: tok_line,
+                });
+            }
+            // Byte string b"..." / raw byte string br"..."
+            b'b' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'\'')
+                || starts_byte_raw(b, i) =>
+            {
+                if b[i + 1] == b'\'' {
+                    i += 2;
+                    consume_char_literal(b, &mut i, &mut line);
+                    push!(TokKind::Char);
+                } else if b[i + 1] == b'"' {
+                    i += 2;
+                    consume_string(b, &mut i, &mut line);
+                    push!(TokKind::Str);
+                } else {
+                    // br"..." or br#"..."#
+                    i += 2;
+                    let mut hashes = 0usize;
+                    while i < b.len() && b[i] == b'#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == b'"' {
+                        i += 1;
+                        consume_raw_string(b, &mut i, &mut line, hashes);
+                    }
+                    push!(TokKind::Str);
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                i += 1;
+                consume_string(b, &mut i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    line: tok_line,
+                });
+            }
+            // `'` begins either a char literal or a lifetime.
+            b'\'' => {
+                i += 1;
+                if is_lifetime(b, i) {
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    push!(TokKind::Lifetime);
+                } else {
+                    consume_char_literal(b, &mut i, &mut line);
+                    push!(TokKind::Char);
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                push!(TokKind::Ident(ident_text(b, start, i)));
+            }
+            _ if c.is_ascii_digit() => {
+                consume_number(b, &mut i);
+                push!(TokKind::Number);
+            }
+            _ => {
+                // Non-ASCII bytes only occur inside literals/comments in
+                // valid Rust; treat a stray one as opaque punctuation.
+                push!(TokKind::Punct(c as char));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn ident_text(b: &[u8], start: usize, end: usize) -> String {
+    String::from_utf8_lossy(&b[start..end]).into_owned()
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// `r` followed by `"` or `#...#"` or `#ident` starts a raw token.
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    if i + 1 >= b.len() {
+        return false;
+    }
+    b[i + 1] == b'"' || b[i + 1] == b'#'
+}
+
+fn starts_byte_raw(b: &[u8], i: usize) -> bool {
+    b[i] == b'b' && i + 2 < b.len() && b[i + 1] == b'r' && (b[i + 2] == b'"' || b[i + 2] == b'#')
+}
+
+/// After a `'`, decide lifetime vs char literal. A lifetime is an ident
+/// sequence NOT closed by another `'` (e.g. `'a` in `&'a str` vs the
+/// char `'a'`).
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    if i >= b.len() || !is_ident_start(b[i]) {
+        return false;
+    }
+    let mut j = i;
+    while j < b.len() && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == b'\'')
+}
+
+fn consume_string(b: &[u8], i: &mut usize, line: &mut u32) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+fn consume_raw_string(b: &[u8], i: &mut usize, line: &mut u32, hashes: usize) {
+    while *i < b.len() {
+        if b[*i] == b'\n' {
+            *line += 1;
+            *i += 1;
+        } else if b[*i] == b'"' {
+            let mut j = *i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                *i = j;
+                return;
+            }
+            *i += 1;
+        } else {
+            *i += 1;
+        }
+    }
+}
+
+fn consume_char_literal(b: &[u8], i: &mut usize, line: &mut u32) {
+    // Called just past the opening quote; consume until closing quote.
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'\'' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                // Unterminated; bail at end of line.
+                *line += 1;
+                *i += 1;
+                return;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+fn consume_number(b: &[u8], i: &mut usize) {
+    // Digits plus ident-chars covers hex/oct/bin and type suffixes
+    // (0xFFu64). A `.` is part of the number only when followed by a
+    // digit, so ranges like `0..10` and calls like `1.max(x)` survive.
+    while *i < b.len() {
+        let c = b[*i];
+        // Exponent signs (1e-5) count only when the previous char was
+        // e/E and a digit follows.
+        let dot_in_float = c == b'.' && *i + 1 < b.len() && b[*i + 1].is_ascii_digit();
+        let exp_sign = (c == b'+' || c == b'-')
+            && *i > 0
+            && (b[*i - 1] == b'e' || b[*i - 1] == b'E')
+            && *i + 1 < b.len()
+            && b[*i + 1].is_ascii_digit();
+        if is_ident_continue(c) || dot_in_float || exp_sign {
+            *i += 1;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Parses a suppression directive out of a line comment's text.
+///
+/// Grammar: `// fcc-lint: allow(rule[, rule...]) -- reason`. A missing
+/// or empty reason still records the suppression (so the rule engine
+/// can reject it loudly via the `malformed-suppression` diagnostic)
+/// with `has_reason = false`.
+fn parse_suppression(comment: &str, line: u32, out: &mut Vec<Suppression>) {
+    let text = comment.trim_start_matches('/').trim();
+    let Some(rest) = text.strip_prefix(SUPPRESS_PREFIX) else {
+        return;
+    };
+    let rest = rest.trim();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        // `fcc-lint:` without `allow(...)` — record as malformed.
+        out.push(Suppression {
+            line,
+            rules: Vec::new(),
+            has_reason: false,
+        });
+        return;
+    };
+    let rest = rest.trim_start();
+    let (rules, tail) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+        Some((inside, tail)) => (
+            inside
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect(),
+            tail,
+        ),
+        None => (Vec::new(), rest),
+    };
+    let has_reason = tail
+        .trim()
+        .strip_prefix("--")
+        .is_some_and(|r| !r.trim().is_empty());
+    out.push(Suppression {
+        line,
+        rules,
+        has_reason,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        // `HashMap` and `panic!` appear only inside literals/comments:
+        // none of them may surface as identifier tokens.
+        let src = r##"
+            // a HashMap lives here, and panic! too
+            /* block with HashMap::new() and thread_rng() */
+            /// doc: iterate the HashMap
+            let s = "HashMap panic! Instant::now()";
+            let r = r#"HashSet thread_rng"#;
+            let c = 'H';
+            let b = b"panic!";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "HashSet"));
+        assert!(!ids.iter().any(|i| i == "panic"));
+        assert!(!ids.iter().any(|i| i == "thread_rng"));
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert_eq!(ids, vec!["let", "s", "let", "r", "let", "c", "let", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("/* outer /* inner HashMap */ still comment */ keep");
+        assert_eq!(ids, vec!["keep"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_string() {
+        let lexed = lex("let s = \"one\ntwo\nthree\";\nafter");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind.ident() == Some("after"))
+            .map(|t| t.line);
+        assert_eq!(after, Some(4));
+    }
+
+    #[test]
+    fn suppression_with_reason() {
+        let lexed =
+            lex("x(); // fcc-lint: allow(nondet-collection-iter) -- snapshot is sorted below\n");
+        assert_eq!(lexed.suppressions.len(), 1);
+        let s = &lexed.suppressions[0];
+        assert_eq!(s.line, 1);
+        assert_eq!(s.rules, vec!["nondet-collection-iter"]);
+        assert!(s.has_reason);
+    }
+
+    #[test]
+    fn suppression_without_reason_flagged() {
+        let lexed = lex("// fcc-lint: allow(entropy-rng)\n");
+        assert_eq!(lexed.suppressions.len(), 1);
+        assert!(!lexed.suppressions[0].has_reason);
+    }
+
+    #[test]
+    fn suppression_multiple_rules() {
+        let lexed = lex("// fcc-lint: allow(R1, wall-clock-in-sim) -- fixture\n");
+        assert_eq!(lexed.suppressions[0].rules, vec!["R1", "wall-clock-in-sim"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#type = 1;");
+        assert_eq!(ids, vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let lexed = lex("for i in 0..10 { let x = 0xFFu64 + 1.5e-3; }");
+        // The range `..` must survive as two '.' puncts, not be eaten
+        // by the number.
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+}

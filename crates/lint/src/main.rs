@@ -1,0 +1,157 @@
+//! `fcc-lint` CLI: the determinism & layering gate.
+//!
+//! ```text
+//! fcc-lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (or baseline updated), 1 unbaselined findings,
+//! 2 usage/environment error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fcc_lint::{baseline::Baseline, report, workspace, RuleId};
+
+struct Opts {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    update_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        baseline: None,
+        json: None,
+        update_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => opts.root = Some(PathBuf::from(next(&mut args, "--root")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(next(&mut args, "--baseline")?)),
+            "--json" => opts.json = Some(PathBuf::from(next(&mut args, "--json")?)),
+            "--update-baseline" => opts.update_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "fcc-lint: workspace determinism & layering linter\n\n\
+                     USAGE: fcc-lint [--root DIR] [--baseline FILE] [--json FILE] \
+                     [--update-baseline] [--list-rules]\n\n\
+                     Findings not covered by an inline \
+                     `// fcc-lint: allow(rule) -- reason` or by the committed\n\
+                     baseline (default: <root>/lint_baseline.json) fail the run."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn next(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("fcc-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+
+    if opts.list_rules {
+        for r in RuleId::ALL {
+            println!("{:<4} {}", r.code(), r.name());
+        }
+        return Ok(true);
+    }
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+            workspace::find_root(&cwd).ok_or_else(|| {
+                "no workspace root found (run inside the repo or pass --root)".to_string()
+            })?
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("lint_baseline.json"));
+
+    let (findings, errors) = workspace::run(&root)?;
+    for e in &errors {
+        eprintln!("fcc-lint: warning: {e}");
+    }
+
+    if opts.update_baseline {
+        std::fs::write(&baseline_path, Baseline::render(&findings))
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        println!(
+            "fcc-lint: baseline updated: {} finding(s) -> {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("read {}: {e}", baseline_path.display())),
+    };
+    let res = baseline.match_findings(findings);
+
+    if let Some(json_path) = &opts.json {
+        let body = report::render_json(&res.new, &res.baselined, &res.stale);
+        if json_path.as_os_str() == "-" {
+            print!("{body}");
+        } else {
+            if let Some(parent) = json_path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+                }
+            }
+            std::fs::write(json_path, body)
+                .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+        }
+    }
+
+    for f in &res.new {
+        println!("{}", f.render_text());
+    }
+    for k in &res.stale {
+        println!("stale baseline entry (fix shipped? run --update-baseline): {k}");
+    }
+    println!(
+        "fcc-lint: {} new, {} baselined, {} stale baseline entr{}",
+        res.new.len(),
+        res.baselined.len(),
+        res.stale.len(),
+        if res.stale.len() == 1 { "y" } else { "ies" }
+    );
+    if !res.new.is_empty() {
+        println!("fcc-lint: FAIL — fix, suppress with a reason, or --update-baseline");
+    }
+    Ok(res.new.is_empty())
+}

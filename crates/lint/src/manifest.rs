@@ -1,0 +1,98 @@
+//! Minimal `Cargo.toml` scanner for the layering rule (R6).
+//!
+//! We only need two facts per manifest: the package name and which
+//! `fcc-*` crates appear under `[dependencies]`. A line-oriented
+//! section scanner is enough for the workspace's hand-written TOML;
+//! no external parser is pulled in (see crate docs).
+
+/// The subset of a `Cargo.toml` the linter cares about.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// `package.name`, if present (the virtual workspace root has one
+    /// too, since the root `Cargo.toml` also defines the `fcc` facade).
+    pub name: Option<String>,
+    /// `fcc-*` keys under `[dependencies]`, in file order.
+    pub fcc_deps: Vec<String>,
+    /// `fcc-*` keys under `[dev-dependencies]` (reported but not
+    /// layering-checked: test-only edges cannot leak into the sim).
+    pub fcc_dev_deps: Vec<String>,
+}
+
+/// Scans manifest text. Never fails: unrecognized lines are skipped.
+pub fn parse(text: &str) -> Manifest {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Deps,
+        DevDeps,
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut m = Manifest::default();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[package]" => Section::Package,
+                "[dependencies]" => Section::Deps,
+                "[dev-dependencies]" => Section::DevDeps,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        // `fcc-sim.workspace = true` — a dotted key names the dep
+        // `fcc-sim`; strip everything after the first dot.
+        let key = key.trim().trim_matches('"');
+        let key = key.split('.').next().unwrap_or(key);
+        match section {
+            Section::Package if key == "name" => {
+                m.name = Some(value.trim().trim_matches('"').to_string());
+            }
+            Section::Deps if key.starts_with("fcc-") => m.fcc_deps.push(key.to_string()),
+            Section::DevDeps if key.starts_with("fcc-") => m.fcc_dev_deps.push(key.to_string()),
+            _ => {}
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_and_fcc_deps() {
+        let m = parse(
+            r#"
+[package]
+name = "fcc-proto"
+version.workspace = true
+
+[dependencies]
+fcc-sim.workspace = true
+fcc-telemetry.workspace = true
+serde.workspace = true
+
+[dev-dependencies]
+fcc-fabric.workspace = true
+rand.workspace = true
+"#,
+        );
+        assert_eq!(m.name.as_deref(), Some("fcc-proto"));
+        assert_eq!(m.fcc_deps, vec!["fcc-sim", "fcc-telemetry"]);
+        assert_eq!(m.fcc_dev_deps, vec!["fcc-fabric"]);
+    }
+
+    #[test]
+    fn dotted_keys_resolve_to_base_name() {
+        // `fcc-sim.workspace = true` must register as `fcc-sim`.
+        let m = parse("[dependencies]\nfcc-sim.workspace = true\n");
+        assert_eq!(m.fcc_deps, vec!["fcc-sim"]);
+    }
+}

@@ -1,0 +1,677 @@
+//! The determinism rule engine: R1–R6 over a lexed token stream.
+//!
+//! Each rule is a pattern over [`crate::lexer::Token`]s, scoped by the
+//! crate's determinism class and the file's kind (library / binary /
+//! test). The engine is deliberately heuristic — it has no type
+//! information — but it is tuned so that every *true* instance of the
+//! bug class it targets is caught, and the rare false positive is
+//! silenced with an inline `// fcc-lint: allow(rule) -- reason`.
+
+use crate::classify::{CrateClass, FileKind};
+use crate::lexer::{self, Suppression, TokKind, Token};
+use crate::report::{Finding, RuleId};
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Everything the per-file rules need to know about their context.
+#[derive(Debug, Clone, Copy)]
+pub struct FileCtx<'a> {
+    /// Package name, e.g. `fcc-fabric`.
+    pub package: &'a str,
+    /// Determinism class of the package.
+    pub class: CrateClass,
+    /// Library / binary / test classification of this file.
+    pub kind: FileKind,
+    /// Workspace-relative path, used in findings.
+    pub path: &'a str,
+}
+
+/// Methods whose call on a `HashMap`/`HashSet` receiver yields
+/// arbitrary-order iteration (the `rebalance` bug class).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Order-insensitive sinks: if the iterator chain ends in one of these
+/// within the same statement, iteration order cannot leak into state,
+/// so R1 stays quiet (`map.values().sum()` is deterministic).
+const ORDER_INSENSITIVE_SINKS: &[&str] = &[
+    "sum", "count", "len", "min", "max", "all", "any", "product", "is_empty",
+];
+
+/// Sorting calls that launder an unordered iteration within the same
+/// statement (`collect` + `sort` idiom).
+const SORT_METHODS: &[&str] = &["sort", "sort_by", "sort_by_key", "sort_unstable", "sorted"];
+
+/// Casts that truncate a 64-bit picosecond value (R4).
+const LOSSY_TARGETS: &[&str] = &["u32", "i32", "usize", "u16", "i16", "u8", "i8"];
+
+/// Methods that expose raw picoseconds from a `SimTime`.
+const PS_METHODS: &[&str] = &["ps", "as_ps", "picos", "as_picos"];
+
+/// Lints one source file. `src` is the file contents.
+pub fn lint_file(ctx: FileCtx<'_>, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let masked = cfg_test_lines(&lexed.tokens);
+    let mut findings = Vec::new();
+
+    // Malformed suppressions are findings in their own right; valid
+    // ones build the suppression table consulted at the end.
+    for s in &lexed.suppressions {
+        if s.rules.is_empty() || !s.has_reason {
+            findings.push(finding(
+                &ctx,
+                RuleId::MalformedSuppression,
+                s.line,
+                &lines,
+                "suppression must name rules and give a reason: \
+                 `// fcc-lint: allow(rule) -- reason`",
+            ));
+        }
+    }
+
+    let in_scope = |line: u32| !masked.iter().any(|r| r.contains(&line));
+    let det_lib = ctx.class == CrateClass::DeterministicCore && ctx.kind != FileKind::Test;
+
+    if det_lib {
+        r1_nondet_collection_iter(&ctx, &lexed.tokens, &lines, &in_scope, &mut findings);
+        r2_wall_clock(&ctx, &lexed.tokens, &lines, &in_scope, &mut findings);
+        r4_lossy_time_cast(&ctx, &lexed.tokens, &lines, &in_scope, &mut findings);
+    }
+    if det_lib && ctx.kind == FileKind::Lib {
+        r5_panic_in_lib(&ctx, &lexed.tokens, &lines, &in_scope, &mut findings);
+    }
+    // R3 applies to every crate and every file kind, including tests:
+    // an entropy-seeded RNG anywhere makes a run unreproducible.
+    r3_entropy_rng(&ctx, &lexed.tokens, &lines, &mut findings);
+
+    apply_suppressions(&lexed.suppressions, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+fn finding(ctx: &FileCtx<'_>, rule: RuleId, line: u32, lines: &[&str], msg: &str) -> Finding {
+    let excerpt = lines
+        .get(line.saturating_sub(1) as usize)
+        .map(|l| l.trim())
+        .unwrap_or("")
+        .to_string();
+    Finding {
+        rule,
+        file: ctx.path.to_string(),
+        line,
+        excerpt,
+        message: msg.to_string(),
+    }
+}
+
+/// Removes findings covered by a well-formed suppression on the same
+/// line or on the line directly above (a standalone comment line).
+fn apply_suppressions(sups: &[Suppression], findings: &mut Vec<Finding>) {
+    findings.retain(|f| {
+        // Malformed-suppression diagnostics cannot themselves be
+        // suppressed — that would make the reason requirement optional.
+        if f.rule == RuleId::MalformedSuppression {
+            return true;
+        }
+        !sups.iter().any(|s| {
+            s.has_reason
+                && (s.line == f.line || s.line + 1 == f.line)
+                && s.rules
+                    .iter()
+                    .any(|r| r == f.rule.name() || r.eq_ignore_ascii_case(f.rule.code()))
+        })
+    });
+}
+
+/// Computes line ranges covered by `#[cfg(test)]`-gated items, so the
+/// deterministic-core rules skip unit-test modules embedded in library
+/// files (mirrors clippy.toml's `allow-unwrap-in-tests`).
+fn cfg_test_lines(tokens: &[Token]) -> Vec<Range<u32>> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the start of the gated item's body: the first `{`
+            // after the attribute, then skip to its matching `}`.
+            let mut j = i + 6; // past `# [ cfg ( test ) ]`
+            let start_line = tokens.get(i).map_or(0, |t| t.line);
+            let mut bodyless = false;
+            while j < tokens.len() && tokens[j].kind != TokKind::Punct('{') {
+                // `#[cfg(test)] use foo;` — item ends without a body;
+                // mask only the attribute's own lines.
+                if tokens[j].kind == TokKind::Punct(';') {
+                    bodyless = true;
+                    break;
+                }
+                j += 1;
+            }
+            if bodyless {
+                let end = tokens.get(j).map_or(start_line, |t| t.line);
+                ranges.push(start_line..end.saturating_add(1));
+                i = j + 1;
+                continue;
+            }
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end_line = tokens.get(j).map_or(u32::MAX, |t| t.line);
+            ranges.push(start_line..end_line.saturating_add(1));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Matches `# [ cfg ( test ) ]` starting at token `i`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let pat: &[TokKind] = &[
+        TokKind::Punct('#'),
+        TokKind::Punct('['),
+        TokKind::Ident("cfg".into()),
+        TokKind::Punct('('),
+        TokKind::Ident("test".into()),
+        TokKind::Punct(')'),
+        TokKind::Punct(']'),
+    ];
+    tokens.len() >= i + pat.len() && tokens[i..i + pat.len()].iter().map(|t| &t.kind).eq(pat)
+}
+
+// ---------------------------------------------------------------- R1 --
+
+/// R1 `nondet-collection-iter`: iteration over `HashMap`/`HashSet` in
+/// deterministic-core code.
+///
+/// Two passes: first collect every identifier bound to a hash
+/// collection in this file (let-bindings, typed params/fields), then
+/// flag `name.iter()`-style calls and `for .. in` loops whose iterated
+/// expression mentions such a name — unless the same statement sorts
+/// the result or feeds an order-insensitive sink.
+fn r1_nondet_collection_iter(
+    ctx: &FileCtx<'_>,
+    tokens: &[Token],
+    lines: &[&str],
+    in_scope: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let names = hash_collection_names(tokens);
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let line = tokens[i].line;
+        match tokens[i].kind.ident() {
+            // `name . iter_method (` where `name` is hash-typed.
+            Some(name) if names.contains(name) => {
+                if let (Some(TokKind::Punct('.')), Some(TokKind::Ident(m))) = (
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    tokens.get(i + 2).map(|t| &t.kind),
+                ) {
+                    if ITER_METHODS.contains(&m.as_str())
+                        && tokens.get(i + 3).map(|t| &t.kind) == Some(&TokKind::Punct('('))
+                        && in_scope(line)
+                        && !statement_is_order_safe(tokens, i + 3)
+                    {
+                        findings.push(finding(
+                            ctx,
+                            RuleId::NondetCollectionIter,
+                            line,
+                            lines,
+                            &format!(
+                                "iteration over hash collection `{name}` is \
+                                 arbitrary-order; use BTreeMap/BTreeSet or \
+                                 collect-and-sort"
+                            ),
+                        ));
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+            // `for pat in expr {` — flag if expr mentions a hash name.
+            Some("for") => {
+                if let Some((expr_start, body_start)) = for_loop_expr(tokens, i) {
+                    let expr = &tokens[expr_start..body_start];
+                    let hash_name = expr
+                        .iter()
+                        .filter_map(|t| t.kind.ident())
+                        .find(|id| names.contains(*id));
+                    let laundered = expr
+                        .iter()
+                        .filter_map(|t| t.kind.ident())
+                        .any(|id| SORT_METHODS.contains(&id) || ITER_METHODS.contains(&id));
+                    // Direct `for x in &map {}` has no method call in the
+                    // expression; chained forms (`for x in map.iter()`) are
+                    // caught by the method-call pattern above, so skip them
+                    // here to avoid double-reporting.
+                    if let (Some(name), false) = (hash_name, laundered) {
+                        if in_scope(line) {
+                            findings.push(finding(
+                                ctx,
+                                RuleId::NondetCollectionIter,
+                                line,
+                                lines,
+                                &format!(
+                                    "for-loop over hash collection `{name}` is \
+                                     arbitrary-order; use BTreeMap/BTreeSet or \
+                                     collect-and-sort"
+                                ),
+                            ));
+                        }
+                    }
+                    // Resume scanning *inside* the header expression so
+                    // chained forms (`for x in map.iter()`) still hit
+                    // the method-call pattern above.
+                    i = expr_start;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in this file:
+/// `name: HashMap<..>` (fields, params, typed lets) and
+/// `name = HashMap::new()/with_capacity/from/default()`.
+fn hash_collection_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        if id != "HashMap" && id != "HashSet" {
+            continue;
+        }
+        // Walk backwards over path/type noise to the binding position.
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match &tokens[j].kind {
+                // Path segments and references: `std :: collections ::`,
+                // `& mut`, `< lifetimes`, etc.
+                TokKind::Punct(':') | TokKind::Punct('&') | TokKind::Punct('<') => continue,
+                TokKind::Ident(seg)
+                    if seg == "std" || seg == "collections" || seg == "mut" || seg == "dyn" =>
+                {
+                    continue
+                }
+                TokKind::Lifetime => continue,
+                _ => break,
+            }
+        }
+        match &tokens[j].kind {
+            // `name : HashMap` — but `j` now sits *before* the `:` run;
+            // the loop above consumed the colon(s), so tokens[j] is the
+            // binding identifier itself (or `=` for initializer form).
+            // Keywords are excluded so `use std::collections::HashMap`
+            // registers nothing.
+            TokKind::Ident(name)
+                if !matches!(
+                    name.as_str(),
+                    "use" | "let" | "pub" | "in" | "crate" | "self"
+                ) =>
+            {
+                names.insert(name.clone());
+            }
+            TokKind::Punct('=') => {
+                // `name = HashMap::...` or `let name = HashMap::...`;
+                // also `name: Ty = HashMap::new()` — walk back over an
+                // optional type annotation to the identifier.
+                let mut k = j;
+                while k > 0 {
+                    k -= 1;
+                    if let TokKind::Ident(name) = &tokens[k].kind {
+                        if name != "mut" && name != "let" {
+                            names.insert(name.clone());
+                        }
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// Given `tokens[i] == for`, returns `(expr_start, body_start)` where
+/// `expr_start` indexes just past `in` and `body_start` indexes the
+/// `{` opening the loop body. Returns `None` for `impl Trait for Type`
+/// (no `in` before the `{`).
+fn for_loop_expr(tokens: &[Token], i: usize) -> Option<(usize, usize)> {
+    let mut j = i + 1;
+    let mut expr_start = None;
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Ident(id) if id == "in" && depth == 0 && expr_start.is_none() => {
+                expr_start = Some(j + 1);
+            }
+            TokKind::Punct('{') if depth == 0 => {
+                return expr_start.map(|s| (s, j));
+            }
+            // A `;` before `{` means this was not a for-loop header.
+            TokKind::Punct(';') => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True if the statement containing the iter-call at `open_paren`
+/// (index of `(`) either sorts the result or ends in an
+/// order-insensitive sink before the next `;`.
+fn statement_is_order_safe(tokens: &[Token], open_paren: usize) -> bool {
+    let mut j = open_paren;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokKind::Punct(';') => return false,
+            TokKind::Ident(id)
+                if SORT_METHODS.contains(&id.as_str())
+                    || ORDER_INSENSITIVE_SINKS.contains(&id.as_str()) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------- R2 --
+
+/// R2 `wall-clock-in-sim`: use of `std::time::Instant`/`SystemTime` in
+/// deterministic-core code. Anchored on the import path (`time::Instant`,
+/// which also catches `use std::time::Instant`) and on clock calls
+/// (`Instant::now`, `SystemTime::now`, ...) rather than the bare
+/// identifier, so a user enum variant named `Instant` (e.g. the Chrome
+/// trace-event kind in fcc-telemetry) does not false-positive.
+fn r2_wall_clock(
+    ctx: &FileCtx<'_>,
+    tokens: &[Token],
+    lines: &[&str],
+    in_scope: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    const CLOCK_CALLS: &[&str] = &["now", "elapsed", "duration_since", "UNIX_EPOCH"];
+    let mut last_line = 0;
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        if id != "Instant" && id != "SystemTime" {
+            continue;
+        }
+        // `time :: Instant` — import or fully-qualified path.
+        let from_time_path = i >= 3
+            && tokens[i - 1].kind == TokKind::Punct(':')
+            && tokens[i - 2].kind == TokKind::Punct(':')
+            && tokens[i - 3].kind.ident() == Some("time");
+        // `Instant :: now` — a clock call on an in-scope import.
+        let clock_call = matches!(
+            (
+                tokens.get(i + 1).map(|t| &t.kind),
+                tokens.get(i + 2).map(|t| &t.kind)
+            ),
+            (Some(TokKind::Punct(':')), Some(TokKind::Punct(':')))
+        ) && tokens
+            .get(i + 3)
+            .and_then(|t| t.kind.ident())
+            .is_some_and(|m| CLOCK_CALLS.contains(&m));
+        if (from_time_path || clock_call) && in_scope(t.line) && t.line != last_line {
+            last_line = t.line;
+            findings.push(finding(
+                ctx,
+                RuleId::WallClockInSim,
+                t.line,
+                lines,
+                &format!(
+                    "`{id}` reads the host clock; simulation code must use \
+                     `SimTime` (wall-clock belongs in fcc-bench/fcc-verify)"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R3 --
+
+/// R3 `entropy-rng`: `thread_rng` / `from_entropy` / `OsRng` anywhere
+/// in the workspace. Every RNG must derive from the `--seed` flag.
+fn r3_entropy_rng(
+    ctx: &FileCtx<'_>,
+    tokens: &[Token],
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    for t in tokens {
+        let Some(id) = t.kind.ident() else { continue };
+        if id == "thread_rng" || id == "from_entropy" || id == "OsRng" {
+            findings.push(finding(
+                ctx,
+                RuleId::EntropyRng,
+                t.line,
+                lines,
+                &format!(
+                    "`{id}` draws OS entropy; all randomness must derive \
+                     from the threaded `--seed` (SmallRng::seed_from_u64)"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R4 --
+
+/// R4 `lossy-time-cast`: `as u32`/`as i32`/`as usize`/... applied to a
+/// picosecond-valued expression. Tracks identifiers typed or assigned
+/// as `SimTime` plus anything named `*_ps`, and flags
+/// `x as u32`, `x.as_ps() as usize`, etc.
+fn r4_lossy_time_cast(
+    ctx: &FileCtx<'_>,
+    tokens: &[Token],
+    lines: &[&str],
+    in_scope: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let time_names = simtime_names(tokens);
+    for i in 0..tokens.len() {
+        if tokens[i].kind.ident() != Some("as") {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1).and_then(|t| t.kind.ident()) else {
+            continue;
+        };
+        if !LOSSY_TARGETS.contains(&target) {
+            continue;
+        }
+        let Some(prev) = i.checked_sub(1).and_then(|p| tokens.get(p)) else {
+            continue;
+        };
+        let line = tokens[i].line;
+        let is_time_valued = match &prev.kind {
+            TokKind::Ident(name) => time_names.contains(name.as_str()) || name.ends_with("_ps"),
+            // `expr.as_ps() as u32`: previous token is `)`; check the
+            // method name just before the matching `(`.
+            TokKind::Punct(')') => {
+                call_before_close(tokens, i - 1).is_some_and(|m| PS_METHODS.contains(&m))
+            }
+            _ => false,
+        };
+        if is_time_valued && in_scope(line) {
+            findings.push(finding(
+                ctx,
+                RuleId::LossyTimeCast,
+                line,
+                lines,
+                &format!(
+                    "`as {target}` truncates a 64-bit picosecond value; \
+                     keep SimTime/u64 or use checked conversion"
+                ),
+            ));
+        }
+    }
+}
+
+/// Identifiers typed or initialized as `SimTime` in this file.
+fn simtime_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind.ident() != Some("SimTime") {
+            continue;
+        }
+        // `name : SimTime` (skip over `:`/`&`/`mut`).
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match &tokens[j].kind {
+                TokKind::Punct(':') | TokKind::Punct('&') => continue,
+                TokKind::Ident(seg) if seg == "mut" => continue,
+                _ => break,
+            }
+        }
+        match &tokens[j].kind {
+            // Exclude keywords and common path segments so that
+            // `use fcc_sim::time::SimTime` doesn't register `time` as
+            // a time-valued binding.
+            TokKind::Ident(name)
+                if !matches!(
+                    name.as_str(),
+                    "use" | "let" | "pub" | "crate" | "self" | "super" | "time" | "sim" | "fcc_sim"
+                ) =>
+            {
+                names.insert(name.clone());
+            }
+            TokKind::Punct('=') => {
+                let mut k = j;
+                while k > 0 {
+                    k -= 1;
+                    if let TokKind::Ident(name) = &tokens[k].kind {
+                        if name != "mut" && name != "let" {
+                            names.insert(name.clone());
+                        }
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// For a `)` at index `close`, walks back to its matching `(` and
+/// returns the method/function identifier immediately before it.
+fn call_before_close(tokens: &[Token], close: usize) -> Option<&str> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        match &tokens[j].kind {
+            TokKind::Punct(')') => depth += 1,
+            TokKind::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j
+                        .checked_sub(1)
+                        .and_then(|p| tokens.get(p))
+                        .and_then(|t| t.kind.ident());
+                }
+            }
+            _ => {}
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+// ---------------------------------------------------------------- R5 --
+
+/// R5 `panic-in-lib`: `panic!` / `unreachable!` / `todo!` /
+/// `unimplemented!` in deterministic-core *library* code (extends the
+/// clippy unwrap/expect ban). Genuine invariant panics carry an inline
+/// allow with the invariant as the reason.
+fn r5_panic_in_lib(
+    ctx: &FileCtx<'_>,
+    tokens: &[Token],
+    lines: &[&str],
+    in_scope: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        let banned = matches!(id, "panic" | "unreachable" | "todo" | "unimplemented");
+        if banned
+            && tokens.get(i + 1).map(|t| &t.kind) == Some(&TokKind::Punct('!'))
+            && in_scope(t.line)
+        {
+            findings.push(finding(
+                ctx,
+                RuleId::PanicInLib,
+                t.line,
+                lines,
+                &format!(
+                    "`{id}!` in deterministic-core library code; return an \
+                     error, or allow with the invariant as the reason"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R6 --
+
+/// R6 `layering`: checks a crate's `[dependencies]` against the
+/// workspace DAG in [`crate::classify::allowed_deps`].
+pub fn lint_manifest(
+    package: &str,
+    manifest_path: &str,
+    m: &crate::manifest::Manifest,
+) -> Vec<Finding> {
+    let Some(allowed) = crate::classify::allowed_deps(package) else {
+        return Vec::new();
+    };
+    m.fcc_deps
+        .iter()
+        .filter(|dep| !allowed.contains(&dep.as_str()))
+        .map(|dep| Finding {
+            rule: RuleId::Layering,
+            file: manifest_path.to_string(),
+            line: 0,
+            excerpt: format!("{package} -> {dep}"),
+            message: format!(
+                "layering violation: `{package}` may not depend on `{dep}` \
+                 (allowed fcc deps: {})",
+                if allowed.is_empty() {
+                    "none".to_string()
+                } else {
+                    allowed.join(", ")
+                }
+            ),
+        })
+        .collect()
+}

@@ -1,0 +1,182 @@
+//! Workspace discovery and the full lint run.
+//!
+//! Scans every workspace member under `crates/*` plus the root `fcc`
+//! facade (`src/`, `tests/`, `examples/`). `vendor/` (offline stub
+//! crates) and `target/` are never scanned. Directory walks and member
+//! ordering are sorted so the report itself is deterministic — the
+//! linter must hold itself to the contract it enforces.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::classify::{classify, file_kind};
+use crate::manifest;
+use crate::report::Finding;
+use crate::rules::{self, FileCtx};
+
+/// One crate to lint: manifest path + source roots.
+#[derive(Debug)]
+struct Member {
+    /// Package name from the manifest.
+    name: String,
+    /// Directory containing the crate's `Cargo.toml`.
+    dir: PathBuf,
+    /// Workspace-relative prefix for report paths (e.g. `crates/sim`).
+    rel: String,
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+///
+/// Returns findings sorted by (file, line, rule). IO errors on
+/// individual files are reported as messages in `errors`; the run
+/// continues so one unreadable file cannot hide other findings.
+pub fn run(root: &Path) -> Result<(Vec<Finding>, Vec<String>), String> {
+    let mut findings = Vec::new();
+    let mut errors = Vec::new();
+
+    for member in members(root, &mut errors) {
+        let manifest_path = member.dir.join("Cargo.toml");
+        let manifest_rel = format!("{}/Cargo.toml", member.rel);
+        match fs::read_to_string(&manifest_path) {
+            Ok(text) => {
+                let m = manifest::parse(&text);
+                findings.extend(rules::lint_manifest(&member.name, &manifest_rel, &m));
+            }
+            Err(e) => errors.push(format!("{}: {e}", manifest_path.display())),
+        }
+
+        let class = classify(&member.name);
+        for file in rust_files(&member.dir, &mut errors) {
+            let rel_in_crate = match file.strip_prefix(&member.dir) {
+                Ok(p) => p.to_string_lossy().replace('\\', "/"),
+                Err(_) => continue,
+            };
+            let rel = if member.rel.is_empty() {
+                rel_in_crate.clone()
+            } else {
+                format!("{}/{}", member.rel, rel_in_crate)
+            };
+            let ctx = FileCtx {
+                package: &member.name,
+                class,
+                kind: file_kind(&rel_in_crate),
+                path: &rel,
+            };
+            match fs::read_to_string(&file) {
+                Ok(src) => findings.extend(rules::lint_file(ctx, &src)),
+                Err(e) => errors.push(format!("{}: {e}", file.display())),
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok((findings, errors))
+}
+
+/// Enumerates workspace members: `crates/*` with a `Cargo.toml`, plus
+/// the root package.
+fn members(root: &Path, errors: &mut Vec<String>) -> Vec<Member> {
+    let mut out = Vec::new();
+    // Root facade crate (the root Cargo.toml defines package `fcc`).
+    match fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(text) => {
+            if let Some(name) = manifest::parse(&text).name {
+                out.push(Member {
+                    name,
+                    dir: root.to_path_buf(),
+                    rel: String::new(),
+                });
+            }
+        }
+        Err(e) => errors.push(format!("{}: {e}", root.join("Cargo.toml").display())),
+    }
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect(),
+        Err(e) => {
+            errors.push(format!("{}: {e}", crates_dir.display()));
+            Vec::new()
+        }
+    };
+    dirs.sort();
+    for dir in dirs {
+        match fs::read_to_string(dir.join("Cargo.toml")) {
+            Ok(text) => {
+                let Some(name) = manifest::parse(&text).name else {
+                    continue;
+                };
+                let rel = format!(
+                    "crates/{}",
+                    dir.file_name()
+                        .map(|n| n.to_string_lossy())
+                        .unwrap_or_default()
+                );
+                out.push(Member { name, dir, rel });
+            }
+            Err(e) => errors.push(format!("{}: {e}", dir.display())),
+        }
+    }
+    out
+}
+
+/// All `.rs` files under a crate's source roots, sorted.
+fn rust_files(dir: &Path, errors: &mut Vec<String>) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for sub in ["src", "tests", "benches", "examples"] {
+        let root = dir.join(sub);
+        if root.is_dir() {
+            walk(&root, &mut out, errors);
+        }
+    }
+    let build = dir.join("build.rs");
+    if build.is_file() {
+        out.push(build);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>, errors: &mut Vec<String>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) => {
+            errors.push(format!("{}: {e}", dir.display()));
+            return;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            // The root member's `src` never nests other members here,
+            // but skip obvious non-source dirs defensively.
+            let name = p.file_name().map(|n| n.to_string_lossy().into_owned());
+            if matches!(name.as_deref(), Some("target") | Some(".git")) {
+                continue;
+            }
+            walk(&p, out, errors);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Walks upward from `start` to the workspace root (the first
+/// directory whose `Cargo.toml` contains a `[workspace]` table).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

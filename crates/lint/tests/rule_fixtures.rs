@@ -1,0 +1,357 @@
+//! Per-rule fixtures: positive (fires), negative (quiet), and
+//! suppressed (fires, then silenced by an inline allow) for each of
+//! R1–R5, plus manifest fixtures for R6.
+//!
+//! Fixture sources live in raw strings; the lexer sees them exactly as
+//! file contents. `det()` lints as deterministic-core library code,
+//! `tooling()` as measurement code.
+
+use fcc_lint::{lint_source, manifest, rules, FileKind, RuleId};
+
+fn det(src: &str) -> Vec<RuleId> {
+    lint_source("fcc-fabric", FileKind::Lib, "fixture.rs", src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn tooling(src: &str) -> Vec<RuleId> {
+    lint_source("fcc-bench", FileKind::Lib, "fixture.rs", src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+// ----------------------------------------------------------------- R1 --
+
+#[test]
+fn r1_fires_on_hashmap_method_iteration() {
+    let src = r#"
+        use std::collections::HashMap;
+        struct S { routes: HashMap<u64, u32> }
+        impl S {
+            fn tick(&mut self) {
+                for (k, v) in self.routes.iter() {
+                    self.emit(*k, *v);
+                }
+            }
+        }
+    "#;
+    assert_eq!(det(src), vec![RuleId::NondetCollectionIter]);
+}
+
+#[test]
+fn r1_fires_on_direct_for_loop_and_drain() {
+    let src = r#"
+        fn f(pending: &mut std::collections::HashSet<u64>) {
+            let mut acc = Vec::new();
+            for id in pending.drain() {
+                acc.push(id);
+            }
+        }
+    "#;
+    let rules = det(src);
+    assert!(rules.contains(&RuleId::NondetCollectionIter), "{rules:?}");
+}
+
+#[test]
+fn r1_quiet_on_btreemap_and_order_insensitive_sinks() {
+    let src = r#"
+        use std::collections::{BTreeMap, HashMap};
+        struct S { ordered: BTreeMap<u64, u32>, counts: HashMap<u64, u32> }
+        impl S {
+            fn ok(&self) -> usize {
+                for (k, v) in self.ordered.iter() { self.emit(*k, *v); }
+                // Order-insensitive aggregation over a HashMap is fine.
+                self.counts.values().map(|v| *v as usize).sum()
+            }
+        }
+    "#;
+    assert_eq!(det(src), vec![]);
+}
+
+#[test]
+fn r1_quiet_when_sorted_in_same_statement() {
+    let src = r#"
+        fn f(m: &std::collections::HashMap<u64, u32>) -> Vec<u64> {
+            let mut v: Vec<u64> = m.keys().copied().collect::<Vec<_>>().sorted();
+            v
+        }
+    "#;
+    assert_eq!(det(src), vec![]);
+}
+
+#[test]
+fn r1_quiet_in_tooling_and_tests() {
+    let src = r#"
+        fn f(m: &std::collections::HashMap<u64, u32>) {
+            for (k, v) in m.iter() { println!("{k} {v}"); }
+        }
+    "#;
+    assert_eq!(tooling(src), vec![]);
+    assert_eq!(
+        lint_source("fcc-fabric", FileKind::Test, "t.rs", src),
+        vec![]
+    );
+}
+
+#[test]
+fn r1_suppressed_with_reason() {
+    let src = r#"
+        fn f(m: &std::collections::HashMap<u64, u32>) -> Vec<u64> {
+            // fcc-lint: allow(nondet-collection-iter) -- collected then sorted on the next line
+            let mut v: Vec<u64> = m.keys().copied().collect();
+            v.sort_unstable();
+            v
+        }
+    "#;
+    assert_eq!(det(src), vec![]);
+}
+
+#[test]
+fn r1_suppression_without_reason_does_not_silence() {
+    let src = r#"
+        fn f(m: &std::collections::HashMap<u64, u32>) -> Vec<u64> {
+            // fcc-lint: allow(nondet-collection-iter)
+            let v: Vec<u64> = m.keys().copied().collect();
+            v
+        }
+    "#;
+    let rules = det(src);
+    assert!(rules.contains(&RuleId::NondetCollectionIter), "{rules:?}");
+    assert!(rules.contains(&RuleId::MalformedSuppression), "{rules:?}");
+}
+
+// ----------------------------------------------------------------- R2 --
+
+#[test]
+fn r2_fires_on_instant_import_and_call() {
+    let import = "use std::time::Instant;\n";
+    assert_eq!(det(import), vec![RuleId::WallClockInSim]);
+    let call = r#"
+        fn f() -> u64 {
+            let t0 = Instant::now();
+            t0.elapsed().as_nanos() as u64
+        }
+    "#;
+    assert_eq!(det(call), vec![RuleId::WallClockInSim]);
+    let sys = "fn f() { let _ = std::time::SystemTime::now(); }";
+    assert_eq!(det(sys), vec![RuleId::WallClockInSim]);
+}
+
+#[test]
+fn r2_quiet_on_enum_variant_named_instant() {
+    // fcc-telemetry's Chrome trace-event kind — must not false-positive.
+    let src = r#"
+        pub enum SpanKind { Complete, Instant }
+        fn f(k: SpanKind) -> bool { matches!(k, SpanKind::Instant) }
+    "#;
+    assert_eq!(det(src), vec![]);
+}
+
+#[test]
+fn r2_quiet_in_measurement_crates() {
+    assert_eq!(tooling("use std::time::Instant;\n"), vec![]);
+}
+
+#[test]
+fn r2_suppressed_with_reason() {
+    let src = "// fcc-lint: allow(wall-clock-in-sim) -- host-side progress logging only\nuse std::time::Instant;\n";
+    assert_eq!(det(src), vec![]);
+}
+
+// ----------------------------------------------------------------- R3 --
+
+#[test]
+fn r3_fires_everywhere_even_in_tooling_and_tests() {
+    let src = "fn f() { let mut rng = rand::thread_rng(); }";
+    assert_eq!(det(src), vec![RuleId::EntropyRng]);
+    assert_eq!(tooling(src), vec![RuleId::EntropyRng]);
+    assert_eq!(
+        lint_source("fcc-bench", FileKind::Test, "t.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect::<Vec<_>>(),
+        vec![RuleId::EntropyRng]
+    );
+    assert_eq!(
+        det("fn g() { let r = SmallRng::from_entropy(); }"),
+        vec![RuleId::EntropyRng]
+    );
+    assert_eq!(
+        det("fn h() { let mut r = OsRng; }"),
+        vec![RuleId::EntropyRng]
+    );
+}
+
+#[test]
+fn r3_quiet_on_seeded_rng() {
+    let src = "fn f(seed: u64) { let rng = SmallRng::seed_from_u64(seed); }";
+    assert_eq!(det(src), vec![]);
+    assert_eq!(tooling(src), vec![]);
+}
+
+#[test]
+fn r3_suppressed_with_reason() {
+    let src = "fn f() {\n    // fcc-lint: allow(entropy-rng) -- fixture for the negative test\n    let mut rng = rand::thread_rng();\n}";
+    assert_eq!(det(src), vec![]);
+}
+
+// ----------------------------------------------------------------- R4 --
+
+#[test]
+fn r4_fires_on_simtime_truncation() {
+    let src = r#"
+        fn f(deadline: SimTime) -> u32 {
+            deadline.as_ps() as u32
+        }
+    "#;
+    assert_eq!(det(src), vec![RuleId::LossyTimeCast]);
+    let named = "fn g(delay_ps: u64) -> usize { delay_ps as usize }";
+    assert_eq!(det(named), vec![RuleId::LossyTimeCast]);
+    let binding = r#"
+        fn h() {
+            let t = SimTime::from_ns(5.0);
+            let _ = t as i32;
+        }
+    "#;
+    assert_eq!(det(binding), vec![RuleId::LossyTimeCast]);
+}
+
+#[test]
+fn r4_quiet_on_widening_or_untimed_casts() {
+    assert_eq!(det("fn f(t: SimTime) -> u64 { t.as_ps() as u64 }"), vec![]);
+    assert_eq!(det("fn g(port: u64) -> usize { port as usize }"), vec![]);
+}
+
+#[test]
+fn r4_suppressed_with_reason() {
+    let src = "fn f(delay_ps: u64) -> u32 {\n    // fcc-lint: allow(lossy-time-cast) -- bounded by config validation to < 4ms\n    delay_ps as u32\n}";
+    assert_eq!(det(src), vec![]);
+}
+
+// ----------------------------------------------------------------- R5 --
+
+#[test]
+fn r5_fires_on_panic_family_in_det_lib() {
+    assert_eq!(
+        det("fn f() { panic!(\"boom\"); }"),
+        vec![RuleId::PanicInLib]
+    );
+    assert_eq!(det("fn f() { unreachable!(); }"), vec![RuleId::PanicInLib]);
+    assert_eq!(det("fn f() { todo!(); }"), vec![RuleId::PanicInLib]);
+    assert_eq!(
+        det("fn f() { unimplemented!(); }"),
+        vec![RuleId::PanicInLib]
+    );
+}
+
+#[test]
+fn r5_quiet_in_tests_tooling_and_cfg_test_modules() {
+    let src = "fn f() { panic!(\"boom\"); }";
+    assert_eq!(tooling(src), vec![]);
+    assert_eq!(lint_source("fcc-sim", FileKind::Test, "t.rs", src), vec![]);
+    // A #[cfg(test)] module inside a det-core library file is exempt.
+    let gated = r#"
+        pub fn lib_code() -> u32 { 7 }
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                if super::lib_code() != 7 { panic!("nope"); }
+            }
+        }
+    "#;
+    assert_eq!(det(gated), vec![]);
+}
+
+#[test]
+fn r5_suppressed_with_reason() {
+    let src = "fn f() {\n    // fcc-lint: allow(panic-in-lib) -- dispatch invariant: only wired message types arrive\n    panic!(\"unexpected\");\n}";
+    assert_eq!(det(src), vec![]);
+}
+
+#[test]
+fn r5_assert_macros_are_not_flagged() {
+    // assert!/debug_assert! are the sanctioned invariant mechanism.
+    let src =
+        "fn f(x: u32) { assert!(x > 0, \"x must be positive\"); debug_assert_eq!(x % 2, 0); }";
+    assert_eq!(det(src), vec![]);
+}
+
+// ----------------------------------------------------------------- R6 --
+
+#[test]
+fn r6_flags_layering_violation() {
+    let m = manifest::parse(
+        "[package]\nname = \"fcc-proto\"\n[dependencies]\nfcc-sim.workspace = true\nfcc-fabric.workspace = true\n",
+    );
+    let findings = rules::lint_manifest("fcc-proto", "crates/proto/Cargo.toml", &m);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, RuleId::Layering);
+    assert!(findings[0].excerpt.contains("fcc-proto -> fcc-fabric"));
+}
+
+#[test]
+fn r6_quiet_on_allowed_edges_and_tooling() {
+    let proto = manifest::parse("[dependencies]\nfcc-sim.workspace = true\n");
+    assert!(rules::lint_manifest("fcc-proto", "p", &proto).is_empty());
+    let bench =
+        manifest::parse("[dependencies]\nfcc-sim.workspace = true\nfcc-elastic.workspace = true\n");
+    assert!(rules::lint_manifest("fcc-bench", "b", &bench).is_empty());
+}
+
+#[test]
+fn r6_sim_depends_on_no_fcc_crate() {
+    let m = manifest::parse("[dependencies]\nfcc-telemetry.workspace = true\n");
+    let findings = rules::lint_manifest("fcc-sim", "crates/sim/Cargo.toml", &m);
+    assert_eq!(findings.len(), 1);
+}
+
+// ------------------------------------------------------ lexer corpus --
+
+#[test]
+fn strings_and_comments_never_false_positive() {
+    // Every banned pattern appears — but only inside literals and
+    // comments, so the file must lint clean even as det-core lib code.
+    let src = r###"
+        // This comment mentions HashMap.iter(), thread_rng(), Instant::now(),
+        // panic!() and unreachable!() — none of it is code.
+        /* Block comment: for (k, v) in map.iter() { panic!("x") } */
+        /// Doc comment: `SystemTime::now()` and `OsRng` are banned.
+        pub fn describe() -> &'static str {
+            let s = "HashMap panic! thread_rng Instant::now SystemTime";
+            let raw = r#"for x in set.drain() { unreachable!() }"#;
+            let c = 'p';
+            let b = b"from_entropy";
+            if s.len() > raw.len() { s } else { "ok" }
+        }
+    "###;
+    assert_eq!(det(src), vec![]);
+}
+
+#[test]
+fn suppression_applies_to_same_line_and_next_line_only() {
+    // The allow sits two lines above the violation: must NOT silence.
+    let src = "fn f() {\n    // fcc-lint: allow(panic-in-lib) -- too far away\n    let x = 1;\n    panic!(\"{x}\");\n}";
+    assert_eq!(det(src), vec![RuleId::PanicInLib]);
+    // Trailing on the same line: silences.
+    let same =
+        "fn f() { panic!(\"x\"); } // fcc-lint: allow(panic-in-lib) -- invariant documented here";
+    assert_eq!(det(same), vec![]);
+}
+
+#[test]
+fn findings_carry_file_line_and_excerpt() {
+    let src = "fn f() {\n    let mut rng = rand::thread_rng();\n}";
+    let findings = lint_source("fcc-sim", FileKind::Lib, "crates/sim/src/x.rs", src);
+    assert_eq!(findings.len(), 1);
+    let f = &findings[0];
+    assert_eq!(f.file, "crates/sim/src/x.rs");
+    assert_eq!(f.line, 2);
+    assert_eq!(f.excerpt, "let mut rng = rand::thread_rng();");
+    assert!(f
+        .render_text()
+        .starts_with("crates/sim/src/x.rs:2: entropy-rng [R3]:"));
+}

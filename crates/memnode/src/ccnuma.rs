@@ -6,7 +6,7 @@
 //! when a line is held remotely, and backs everything with a banked
 //! [`DramDevice`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use fcc_proto::addr::NodeId;
 use fcc_proto::channel::{CacheOpcode, Transaction, TransactionKind};
@@ -45,13 +45,13 @@ pub struct DirectoryNode {
     /// The coherence engine (public for probes).
     pub dir: Directory,
     /// Requests deferred because their line was busy.
-    deferred: HashMap<u64, VecDeque<Transaction>>,
+    deferred: BTreeMap<u64, VecDeque<Transaction>>,
     /// Original request being resolved by snoops, per line.
-    inflight: HashMap<u64, Transaction>,
+    inflight: BTreeMap<u64, Transaction>,
     /// Snoop txn id → (line, snooped node).
-    snoop_ids: HashMap<u64, (u64, NodeId)>,
+    snoop_ids: BTreeMap<u64, (u64, NodeId)>,
     next_snoop: u64,
-    reassembly: HashMap<u64, Reassembly>,
+    reassembly: BTreeMap<u64, Reassembly>,
     /// Requests served.
     pub serviced: Counter,
     /// Snoops issued over the fabric.
@@ -72,11 +72,11 @@ impl DirectoryNode {
             port: LinkPort::new(phys, credit),
             dram: DramDevice::new(timing, capacity),
             dir: Directory::new(),
-            deferred: HashMap::new(),
-            inflight: HashMap::new(),
-            snoop_ids: HashMap::new(),
+            deferred: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            snoop_ids: BTreeMap::new(),
             next_snoop: 0,
-            reassembly: HashMap::new(),
+            reassembly: BTreeMap::new(),
             serviced: Counter::new(),
             snoops_issued: Counter::new(),
         }

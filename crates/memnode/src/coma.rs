@@ -13,7 +13,7 @@
 //! migrate the master and invalidate replicas; evicting the last copy
 //! displaces it to another node rather than dropping it.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use fcc_proto::addr::NodeId;
 
@@ -39,7 +39,7 @@ pub struct AttractionMemory {
     node: NodeId,
     capacity_lines: usize,
     /// Lines present; value = is this the master copy.
-    lines: HashMap<u64, bool>,
+    lines: BTreeMap<u64, bool>,
     lru: VecDeque<u64>,
     /// Local hits.
     pub hits: u64,
@@ -58,7 +58,7 @@ impl AttractionMemory {
         AttractionMemory {
             node,
             capacity_lines,
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
             lru: VecDeque::new(),
             hits: 0,
             misses: 0,
@@ -127,11 +127,11 @@ impl AttractionMemory {
 /// node attraction memories.
 #[derive(Debug)]
 pub struct ComaDirectory {
-    nodes: HashMap<NodeId, AttractionMemory>,
+    nodes: BTreeMap<NodeId, AttractionMemory>,
     /// line → copy holders.
-    holders: HashMap<u64, BTreeSet<NodeId>>,
+    holders: BTreeMap<u64, BTreeSet<NodeId>>,
     /// line → master holder.
-    master: HashMap<u64, NodeId>,
+    master: BTreeMap<u64, NodeId>,
     /// Migrations performed (master moved).
     pub migrations: u64,
     /// Replications performed (read copies created).
@@ -150,15 +150,15 @@ impl ComaDirectory {
     /// Panics if `nodes` is empty or contains duplicate node ids.
     pub fn new(nodes: Vec<AttractionMemory>) -> Self {
         assert!(!nodes.is_empty(), "COMA needs at least one node");
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         for am in nodes {
             let prev = map.insert(am.node(), am);
             assert!(prev.is_none(), "duplicate node id");
         }
         ComaDirectory {
             nodes: map,
-            holders: HashMap::new(),
-            master: HashMap::new(),
+            holders: BTreeMap::new(),
+            master: BTreeMap::new(),
             migrations: 0,
             replications: 0,
             displacements: 0,

@@ -8,7 +8,7 @@
 //! single-writer/multiple-reader invariant. The event-driven wrapper that
 //! runs it at an FEA is [`DirectoryNode`](crate::ccnuma::DirectoryNode).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use fcc_proto::addr::NodeId;
 
@@ -71,7 +71,7 @@ struct Line {
 /// The directory controller state for one CC-NUMA node.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    lines: HashMap<u64, Line>,
+    lines: BTreeMap<u64, Line>,
     /// Snoops issued (statistics).
     pub snoops_sent: u64,
     /// Requests that found the line busy.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Fabric-attached memory node models (§3 Difference #2 of the paper).
 //!

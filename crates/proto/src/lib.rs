@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! CXL Flex Bus protocol model: flits, channels, and the three-layer stack.
 //!

@@ -199,6 +199,7 @@ impl EngineCore {
             let id = self.free_head;
             match std::mem::replace(&mut self.slab[id as usize], Slot::Occupied(kind)) {
                 Slot::Vacant { next_free } => self.free_head = next_free,
+                // fcc-lint: allow(panic-in-lib) -- slab free-list invariant: a vacant head is vacant
                 Slot::Occupied(_) => unreachable!("free list pointed at an occupied slot"),
             }
             id
@@ -224,6 +225,7 @@ impl EngineCore {
         self.free_head = id;
         match slot {
             Slot::Occupied(kind) => kind,
+            // fcc-lint: allow(panic-in-lib) -- slab invariant: queue entries reference occupied slots
             Slot::Vacant { .. } => unreachable!("queue entry pointed at a vacant slot"),
         }
     }
@@ -383,6 +385,7 @@ impl Engine {
         (b.as_ref() as &dyn Any)
             .downcast_ref::<C>()
             .unwrap_or_else(|| {
+                // fcc-lint: allow(panic-in-lib) -- documented API contract: wrong-type downcast is caller error
                 panic!(
                     "component {} is not a {}",
                     self.names[id.index()],
@@ -405,6 +408,7 @@ impl Engine {
             .expect("component is mid-dispatch");
         (b.as_mut() as &mut dyn Any)
             .downcast_mut::<C>()
+            // fcc-lint: allow(panic-in-lib) -- documented API contract: wrong-type downcast is caller error
             .unwrap_or_else(|| panic!("component {name} is not a {}", std::any::type_name::<C>()))
     }
 
@@ -475,6 +479,7 @@ impl Engine {
             };
             match self.core.take(e.id) {
                 EventKind::Message { msg, .. } => self.batch_buf.push(msg),
+                // fcc-lint: allow(panic-in-lib) -- is_message_for only matches Message entries
                 EventKind::Call(_) => unreachable!("is_message_for matched a closure"),
             }
         }

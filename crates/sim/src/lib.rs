@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Deterministic discrete-event simulation core for the FCC reproduction.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Observability for the FCC simulation stack: causal tracing, a labeled
 //! metrics registry, and Chrome trace-event (Perfetto-loadable) export.

@@ -21,6 +21,7 @@
 //! trace) on any violation; `scripts/check.sh` wires them into the
 //! repo's verification gate.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coherence;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Workload and fault-injection generators for the FCC experiments.
 //!

@@ -14,6 +14,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc (deny warnings: broken intra-doc links fail the gate)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> fcc-lint (determinism & layering gate)"
+lint_artifacts="${LINT_ARTIFACT_DIR:-target/lint}"
+mkdir -p "$lint_artifacts"
+cargo run --release -p fcc-lint -- --json "$lint_artifacts/lint-report.json"
+
 echo "==> cargo test"
 cargo test --workspace -q
 

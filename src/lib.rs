@@ -25,6 +25,7 @@
 //! assert_eq!(engine.now().as_ns(), 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 pub use fcc_baseband as baseband;
 pub use fcc_cache as cache;
 pub use fcc_core as unifabric;
