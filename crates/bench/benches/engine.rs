@@ -3,14 +3,18 @@
 //! These isolate the costs the experiment harness pays on every event:
 //! calendar-queue push/pop plus slab recycling (`event_churn`), the
 //! same-timestamp batch delivery path (`batch_delivery`), the credit
-//! ramp-up state machine (`credit_ramp`), and the allocation-free
-//! deadlock scan (`deadlock_scan`). `scripts/bench_gate.sh` guards the
-//! end-to-end numbers; these localize *which* layer regressed.
+//! ramp-up state machine (`credit_ramp`), the allocation-free
+//! deadlock scan (`deadlock_scan`), the cross-shard gateway handoff of
+//! the conservative parallel executor (`cross_shard_handoff`), and the
+//! calendar queue driven through the executor's epoch-bounded
+//! `run_until` pattern (`calendar_sharded`). `scripts/bench_gate.sh`
+//! guards the end-to-end numbers; these localize *which* layer
+//! regressed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fcc_fabric::credit::RampUpState;
-use fcc_sim::{Component, Ctx, Engine, Msg, PendingWork, SimTime};
+use fcc_sim::{Component, ComponentId, Ctx, Engine, Msg, PendingWork, ShardedEngine, SimTime};
 
 /// A counter that re-posts to itself until `remaining` hits zero: every
 /// dispatch is one slab take, one push, and one calendar pop.
@@ -130,11 +134,132 @@ fn bench_deadlock_scan(c: &mut Criterion) {
     });
 }
 
+/// Bounces a `u64` countdown through `via` (a shard gateway), so every
+/// hop crosses the shard boundary: stage, merge, re-post.
+struct PingPong {
+    via: Option<ComponentId>,
+    delay_ps: u64,
+}
+
+impl Component for PingPong {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if let (Ok(v), Some(t)) = (msg.downcast::<u64>(), self.via) {
+            if v > 0 {
+                ctx.send(t, SimTime::from_ps(self.delay_ps), v - 1);
+            }
+        }
+    }
+}
+
+/// The cross-shard message handoff: a two-shard ping-pong where every
+/// message crosses the gateway cable, measured serially (pure relay +
+/// epoch machinery) and with two workers (adds the barrier handshakes).
+fn bench_cross_shard_handoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_shard_handoff");
+    for &workers in &[1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut sh = ShardedEngine::new(7, 2);
+                    let (ga, gb) = sh.link(0, 1, SimTime::from_ns(50.0), "cable");
+                    let p0 = sh.engine_mut(0).add_component(
+                        "p0",
+                        PingPong {
+                            via: Some(ga),
+                            delay_ps: 100,
+                        },
+                    );
+                    let p1 = sh.engine_mut(1).add_component(
+                        "p1",
+                        PingPong {
+                            via: Some(gb),
+                            delay_ps: 100,
+                        },
+                    );
+                    sh.engine_mut(0)
+                        .component_mut::<fcc_sim::ShardGateway>(ga)
+                        .set_local_peer(p0);
+                    sh.engine_mut(1)
+                        .component_mut::<fcc_sim::ShardGateway>(gb)
+                        .set_local_peer(p1);
+                    sh.engine_mut(0).post(p0, SimTime::ZERO, 500u64);
+                    sh.run(workers);
+                    sh.total_events()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The calendar queue under sharded load: four shards of self-posting
+/// churners (the near-window ring path) executed through the executor's
+/// epoch-bounded `run_until` calls instead of one monolithic
+/// `run_until_idle`, plus a cross-shard ping keeping the gateways and
+/// merge path warm. One worker, so the measurement isolates the
+/// epoch-chunked calendar cost from thread scheduling.
+fn bench_calendar_sharded(c: &mut Criterion) {
+    c.bench_function("calendar_sharded_4x8churn", |b| {
+        b.iter(|| {
+            let mut sh = ShardedEngine::new(7, 4);
+            let mut cable0 = None;
+            for d in 0..3usize {
+                let pair = sh.link(d, d + 1, SimTime::from_ns(200.0), "cable");
+                if d == 0 {
+                    cable0 = Some(pair);
+                }
+            }
+            for d in 0..4usize {
+                for i in 0..8u64 {
+                    let eng = sh.engine_mut(d);
+                    let id = eng.add_component(
+                        format!("churn{d}x{i}"),
+                        Churner {
+                            remaining: 2_000,
+                            step_ps: 900,
+                        },
+                    );
+                    eng.post(id, SimTime::ZERO, Tick);
+                }
+            }
+            if let Some((ga, gb)) = cable0 {
+                let p0 = sh.engine_mut(0).add_component(
+                    "p0",
+                    PingPong {
+                        via: Some(ga),
+                        delay_ps: 100,
+                    },
+                );
+                let p1 = sh.engine_mut(1).add_component(
+                    "p1",
+                    PingPong {
+                        via: Some(gb),
+                        delay_ps: 100,
+                    },
+                );
+                sh.engine_mut(0)
+                    .component_mut::<fcc_sim::ShardGateway>(ga)
+                    .set_local_peer(p0);
+                sh.engine_mut(1)
+                    .component_mut::<fcc_sim::ShardGateway>(gb)
+                    .set_local_peer(p1);
+                sh.engine_mut(0).post(p0, SimTime::ZERO, 40u64);
+            }
+            sh.run(1);
+            sh.total_events()
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_churn,
     bench_batch_delivery,
     bench_credit_ramp,
-    bench_deadlock_scan
+    bench_deadlock_scan,
+    bench_cross_shard_handoff,
+    bench_calendar_sharded
 );
 criterion_main!(benches);

@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! experiments list
-//! experiments [--quick] [--jobs <n>] [--json <file>] [--trace <file>] \
-//!             [--metrics <file>] [--perf <file>] <id>... | all
+//! experiments [--quick] [--jobs <n>] [--shards <n>] [--json <file>] \
+//!             [--trace <file>] [--metrics <file>] [--perf <file>] <id>... | all
 //! ```
 //!
 //! * `list` prints the experiment-id table and exits.
@@ -15,6 +15,10 @@
 //! * `--jobs <n>` caps the scenario fan-out (default: one per core).
 //!   Every export is byte-identical for any `--jobs` value: scenarios are
 //!   fully isolated and outputs are assembled in scenario order.
+//! * `--shards <n>` sets the worker-thread fan-out of sharded-executor
+//!   scenarios (`e3x`; default 1). The shard decomposition is fixed by
+//!   the topology, so exports are byte-identical for any `--shards`
+//!   value, composed freely with `--jobs`.
 //! * `--json <file>` writes every run experiment's scalar results as one
 //!   JSON object keyed by experiment id. Timing never appears here — the
 //!   simulation results are deterministic and diffable.
@@ -50,7 +54,8 @@ fn print_list() {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments list\n       experiments [--quick] [--seed <n>] [--jobs <n>] \
-         [--json <file>] [--trace <file>] [--metrics <file>] [--perf <file>] <id>... | all"
+         [--shards <n>] [--json <file>] [--trace <file>] [--metrics <file>] [--perf <file>] \
+         <id>... | all"
     );
     eprintln!(
         "ids: {} all",
@@ -80,6 +85,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut seed = 0u64;
     let mut jobs: Option<usize> = None;
+    let mut shards = 1usize;
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
@@ -89,13 +95,14 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--seed" | "--jobs" => {
+            "--seed" | "--jobs" | "--shards" => {
                 let Some(n) = it.next() else {
                     eprintln!("error: {a} requires a number");
                     return usage();
                 };
                 match (a.as_str(), n.parse::<u64>()) {
                     ("--seed", Ok(v)) => seed = v,
+                    ("--shards", Ok(v)) => shards = (v as usize).max(1),
                     (_, Ok(v)) => jobs = Some((v as usize).max(1)),
                     (_, Err(e)) => {
                         eprintln!("error: {a} {n:?}: {e}");
@@ -159,7 +166,7 @@ fn main() -> ExitCode {
         }
     }
     let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let outputs = run_ids(&ids, quick, seed, jobs, capture_wanted);
+    let outputs = run_ids(&ids, quick, seed, jobs, capture_wanted, shards);
 
     // Deterministic assembly: everything below walks `outputs` in
     // scenario order, so every export is byte-identical for any `--jobs`.

@@ -21,10 +21,10 @@
 //! deadlock report in the trace.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fcc_core::heap::{FabricBox, PlacementHint};
-use fcc_elastic::{DrainReason, ElasticCluster, HeapLoadGen, StartLoad};
+use fcc_elastic::{DrainReason, ElasticCluster, HeapLoadGen, LockClusterState, StartLoad};
 use fcc_fabric::topology::TopologySpec;
 use fcc_memnode::profile::{MemNodeKind, MemNodeProfile};
 use fcc_sim::{Engine, SimTime};
@@ -110,7 +110,7 @@ fn run_scenario(mode: Mode, quick: bool, cap: &mut Capture, seed: u64) -> E11Sce
     // tiers, stable placement order) — that node is the churn victim.
     let n_objs = if quick { 16 } else { 64 };
     let objs: Vec<FabricBox> = {
-        let mut st = cluster.state().borrow_mut();
+        let mut st = cluster.state().lock_state();
         (0..n_objs)
             .map(|i| {
                 let obj = st
@@ -124,7 +124,7 @@ fn run_scenario(mode: Mode, quick: bool, cap: &mut Capture, seed: u64) -> E11Sce
     };
     let victim = cluster
         .state()
-        .borrow()
+        .lock_state()
         .heap
         .node_of(objs[0])
         .expect("freshly allocated");
@@ -152,11 +152,11 @@ fn run_scenario(mode: Mode, quick: bool, cap: &mut Capture, seed: u64) -> E11Sce
             });
         }
     }
-    let fha = cluster.state().borrow().topo.hosts[0].fha;
+    let fha = cluster.state().lock_state().topo.hosts[0].fha;
     let gen = engine.add_component(
         "e11-loadgen",
         HeapLoadGen::new(
-            Rc::clone(cluster.state()),
+            Arc::clone(cluster.state()),
             fha,
             100,
             objs.clone(),
@@ -175,7 +175,7 @@ fn run_scenario(mode: Mode, quick: bool, cap: &mut Capture, seed: u64) -> E11Sce
     let issued = g.issued.get();
     let deadlock = engine.deadlock_report();
     let (lost_objects, survived, epochs, evac_jobs, evac_bytes) = {
-        let st = cluster.state().borrow();
+        let st = cluster.state().lock_state();
         (
             st.lost_objects,
             st.surviving(&objs),

@@ -31,14 +31,14 @@ use crate::capture::Capture;
 use crate::loadgen::{AddrPattern, LoadCfg, LoadGen, StartLoad};
 
 /// FabreX-like link: short cable, fast SerDes.
-fn fabrex_phys() -> PhysConfig {
+pub(crate) fn fabrex_phys() -> PhysConfig {
     PhysConfig::omega_like() // 25 ns propagation, 512 Gbit/s.
 }
 
 /// A FabreX-attached FPGA-card-like endpoint: per-byte controller
 /// occupancy makes 16 KiB writes hold the device ~256x longer than 64 B
 /// ones, as on the shared U55C card.
-fn fabrex_device() -> Box<dyn Endpoint> {
+pub(crate) fn fabrex_device() -> Box<dyn Endpoint> {
     Box::new(
         PipelinedMemory::new(
             SimTime::from_ns(200.0),
@@ -50,7 +50,7 @@ fn fabrex_device() -> Box<dyn Endpoint> {
     )
 }
 
-fn fabrex_spec(queueing: QueueDiscipline, allocation: AllocPolicy) -> TopologySpec {
+pub(crate) fn fabrex_spec(queueing: QueueDiscipline, allocation: AllocPolicy) -> TopologySpec {
     TopologySpec {
         switch: SwitchConfig {
             phys: fabrex_phys(),

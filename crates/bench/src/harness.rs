@@ -19,8 +19,8 @@ use fcc_telemetry::{MetricsRegistry, TraceDump};
 use crate::capture::Capture;
 use crate::runner::par_map;
 use crate::{
-    exp_abl, exp_e10, exp_e11, exp_e3, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8, exp_e9, exp_f1,
-    exp_nodes, exp_t1, exp_t2,
+    exp_abl, exp_e10, exp_e11, exp_e3, exp_e3x, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8, exp_e9,
+    exp_f1, exp_nodes, exp_t1, exp_t2,
 };
 
 /// Experiment registry: `(id, traced, cost, description)`.
@@ -28,7 +28,7 @@ use crate::{
 /// `cost` is a relative full-run duration estimate (roughly milliseconds
 /// on the reference machine) used only for longest-job-first scheduling
 /// in the parallel driver; it needs ordering fidelity, not accuracy.
-pub const ALL: [(&str, bool, u64, &str); 20] = [
+pub const ALL: [(&str, bool, u64, &str); 21] = [
     ("t1", false, 2, "Table 1: commodity memory fabrics registry"),
     (
         "t2",
@@ -71,6 +71,12 @@ pub const ALL: [(&str, bool, u64, &str); 20] = [
         true,
         125,
         "credit starvation back-propagates across switches",
+    ),
+    (
+        "e3x",
+        true,
+        340,
+        "sharded 8-domain chain: 64-tenant interference",
     ),
     (
         "e4",
@@ -194,7 +200,13 @@ fn put(text: &mut String, what: &dyn std::fmt::Display) {
 ///
 /// `cap` is the scenario's own capture; traced experiments emit spans and
 /// metrics into it.
-pub fn run_one(id: &str, quick: bool, cap: &mut Capture, seed: u64) -> Option<(String, Scalars)> {
+pub fn run_one(
+    id: &str,
+    quick: bool,
+    cap: &mut Capture,
+    seed: u64,
+    shards: usize,
+) -> Option<(String, Scalars)> {
     let mut text = String::new();
     text.push_str("================================================================\n");
     let mut s: Scalars = Vec::new();
@@ -271,6 +283,16 @@ pub fn run_one(id: &str, quick: bool, cap: &mut Capture, seed: u64) -> Option<(S
             s.push(kv("victim_congested_ops_us", r.victim_congested));
             s.push(kv("hog_ops_us", r.hog_tput));
             s.push(kv("degradation", r.degradation()));
+        }
+        "e3x" => {
+            let r = exp_e3x::run_x_captured_seeded(quick, cap, seed, shards);
+            put(&mut text, &r);
+            s.push(kv("tenants", r.tenants as f64));
+            s.push(kv("victim_ops_us", r.victim_ops_us));
+            s.push(kv("victim_fairness", r.victim_fairness));
+            s.push(kv("bulk_ops_us", r.bulk_ops_us));
+            s.push(kv("hog_ops_us", r.hog_ops_us));
+            s.push(kv("total_events", r.total_events as f64));
         }
         "e4" => {
             let r = exp_e4::run_seeded(quick, seed);
@@ -408,7 +430,13 @@ pub fn run_one(id: &str, quick: bool, cap: &mut Capture, seed: u64) -> Option<(S
 /// # Panics
 ///
 /// Panics on an unknown id — the driver validates ids up front.
-pub fn run_scenario(id: &str, quick: bool, seed: u64, record: bool) -> ScenarioOutput {
+pub fn run_scenario(
+    id: &str,
+    quick: bool,
+    seed: u64,
+    record: bool,
+    shards: usize,
+) -> ScenarioOutput {
     let mut cap = if record {
         Capture::recording()
     } else {
@@ -419,7 +447,7 @@ pub fn run_scenario(id: &str, quick: bool, seed: u64, record: bool) -> ScenarioO
     // event count.
     let events_before = fcc_sim::thread_events_dispatched();
     let started = Instant::now();
-    let Some((text, scalars)) = run_one(id, quick, &mut cap, seed) else {
+    let Some((text, scalars)) = run_one(id, quick, &mut cap, seed, shards) else {
         panic!("unknown experiment id: {id}");
     };
     let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
@@ -435,7 +463,10 @@ pub fn run_scenario(id: &str, quick: bool, seed: u64, record: bool) -> ScenarioO
 }
 
 /// Runs `ids` across up to `jobs` threads (1 = serial, on the caller's
-/// thread), returning outputs in `ids` order.
+/// thread), returning outputs in `ids` order. `shards` is the worker
+/// fan-out handed to sharded-executor scenarios (currently `e3x`);
+/// engine-per-scenario experiments ignore it. Exports are byte-identical
+/// for any `(jobs, shards)` combination.
 ///
 /// Scenarios share nothing — each gets its own `Engine`s, RNG streams
 /// (derived from `seed`), and capture — so the only cross-scenario state
@@ -446,13 +477,14 @@ pub fn run_ids(
     seed: u64,
     jobs: usize,
     record: bool,
+    shards: usize,
 ) -> Vec<ScenarioOutput> {
     let items: Vec<String> = ids.to_vec();
     par_map(
         items,
         jobs,
         |_, id| registry_entry(id).map_or(0, |&(_, _, cost, _)| cost),
-        |_, id| run_scenario(&id, quick, seed, record),
+        move |_, id| run_scenario(&id, quick, seed, record, shards),
     )
 }
 
@@ -539,12 +571,12 @@ mod tests {
     #[test]
     fn run_one_rejects_unknown_ids() {
         let mut cap = Capture::disabled();
-        assert!(run_one("not-an-experiment", true, &mut cap, 0).is_none());
+        assert!(run_one("not-an-experiment", true, &mut cap, 0, 1).is_none());
     }
 
     #[test]
     fn quick_scenario_produces_text_scalars_and_perf() {
-        let out = run_scenario("t1", true, 0, false);
+        let out = run_scenario("t1", true, 0, false, 1);
         assert_eq!(out.id, "t1");
         assert!(out.text.contains("======"));
         assert!(!out.scalars.is_empty());
@@ -554,7 +586,7 @@ mod tests {
 
     #[test]
     fn traced_quick_scenario_yields_a_dump() {
-        let out = run_scenario("e3d", true, 7, true);
+        let out = run_scenario("e3d", true, 7, true, 1);
         let dump = out.trace.expect("recording scenario dumps");
         assert!(!dump.processes.is_empty());
         assert!(out.perf.events > 0, "a simulation dispatched events");

@@ -19,6 +19,7 @@ pub mod exp_abl;
 pub mod exp_e10;
 pub mod exp_e11;
 pub mod exp_e3;
+pub mod exp_e3x;
 pub mod exp_e4;
 pub mod exp_e5;
 pub mod exp_e6;

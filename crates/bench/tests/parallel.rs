@@ -44,8 +44,8 @@ fn assemble(outputs: Vec<ScenarioOutput>) -> (String, String, String, String) {
 
 #[test]
 fn parallel_run_is_byte_identical_to_serial() {
-    let serial = assemble(run_ids(&ids(), true, 0, 1, true));
-    let parallel = assemble(run_ids(&ids(), true, 0, 4, true));
+    let serial = assemble(run_ids(&ids(), true, 0, 1, true, 1));
+    let parallel = assemble(run_ids(&ids(), true, 0, 4, true, 1));
     assert_eq!(serial.0, parallel.0, "report text differs");
     assert_eq!(serial.1, parallel.1, "scalar JSON differs");
     assert_eq!(serial.2, parallel.2, "trace JSON differs");
@@ -54,14 +54,14 @@ fn parallel_run_is_byte_identical_to_serial() {
 
 #[test]
 fn parallel_run_is_byte_identical_under_a_nonzero_seed() {
-    let serial = assemble(run_ids(&ids(), true, 42, 1, true));
-    let parallel = assemble(run_ids(&ids(), true, 42, 3, true));
+    let serial = assemble(run_ids(&ids(), true, 42, 1, true, 1));
+    let parallel = assemble(run_ids(&ids(), true, 42, 3, true, 1));
     assert_eq!(serial, parallel);
 }
 
 #[test]
 fn outputs_come_back_in_request_order_with_perf_samples() {
-    let outputs = run_ids(&ids(), true, 0, 4, false);
+    let outputs = run_ids(&ids(), true, 0, 4, false, 1);
     let got: Vec<&str> = outputs.iter().map(|o| o.id.as_str()).collect();
     assert_eq!(got, ["t2", "t1", "e3d", "e10", "e6"]);
     // Scenarios that drive a DES engine report a nonzero event count

@@ -1,0 +1,85 @@
+//! Integration tests for the sharded executor's determinism contract:
+//! a `--shards M` run must assemble into exactly the bytes a serial run
+//! produces, for every export (report text, scalar JSON, Chrome trace,
+//! metrics), for every worker count, composed with any `--jobs N`.
+//!
+//! The shard decomposition is fixed by the topology (one shard per
+//! switch domain); `--shards` only picks the worker-thread fan-out, so
+//! thread scheduling must be unobservable. Single-engine scenarios
+//! (`e3e`, `e5`, `e11`) ignore the knob entirely — they ride along here
+//! to pin that passing `--shards` through the harness is a no-op for
+//! them.
+
+use fcc_bench::capture::Capture;
+use fcc_bench::harness::{results_json, run_ids, ScenarioOutput};
+
+/// The sharded scenario plus single-engine scenarios from three layers
+/// (fabric interference, placement policy, elastic composition).
+fn ids() -> Vec<String> {
+    ["e3x", "e3e", "e5", "e11"]
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// Reassembles outputs exactly the way the `experiments` binary does.
+fn assemble(outputs: Vec<ScenarioOutput>) -> (String, String, String, String) {
+    let text: String = outputs.iter().map(|o| o.text.as_str()).collect();
+    let results: Vec<_> = outputs
+        .iter()
+        .map(|o| (o.id.clone(), o.scalars.clone()))
+        .collect();
+    let mut cap = Capture::recording();
+    for o in outputs {
+        cap.metrics.merge(&o.metrics);
+        if let Some(dump) = o.trace {
+            cap.sink.absorb(dump);
+        }
+    }
+    (
+        text,
+        results_json(&results),
+        cap.sink.to_chrome_json(),
+        cap.metrics.to_json(),
+    )
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_for_every_worker_count() {
+    let serial = assemble(run_ids(&ids(), true, 0, 1, true, 1));
+    for shards in [2, 4, 8] {
+        let sharded = assemble(run_ids(&ids(), true, 0, 1, true, shards));
+        assert_eq!(
+            serial.0, sharded.0,
+            "report text differs at --shards {shards}"
+        );
+        assert_eq!(
+            serial.1, sharded.1,
+            "scalar JSON differs at --shards {shards}"
+        );
+        assert_eq!(
+            serial.2, sharded.2,
+            "trace JSON differs at --shards {shards}"
+        );
+        assert_eq!(
+            serial.3, sharded.3,
+            "metrics JSON differs at --shards {shards}"
+        );
+    }
+}
+
+#[test]
+fn sharded_workers_compose_with_parallel_scenario_jobs() {
+    let serial = assemble(run_ids(&ids(), true, 0, 1, true, 1));
+    let both = assemble(run_ids(&ids(), true, 0, 3, true, 4));
+    assert_eq!(serial, both, "--shards 4 + --jobs 3 diverged from serial");
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_under_a_nonzero_seed() {
+    for seed in [42, 0xFCC] {
+        let serial = assemble(run_ids(&ids(), true, seed, 1, true, 1));
+        let sharded = assemble(run_ids(&ids(), true, seed, 2, true, 2));
+        assert_eq!(serial, sharded, "seed {seed} diverged");
+    }
+}

@@ -20,9 +20,8 @@
 //!   routes vanish with no drain and no quiescence guard, destroying the
 //!   node's resident objects and stranding in-flight operations.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use fcc_core::etrans::{
     ETrans, ETransDone, MigrationAgent, SubmitETrans, TenantLimit, TransAttrs, TransOwnership,
@@ -126,10 +125,28 @@ impl ClusterState {
     }
 }
 
+/// Ergonomic, poison-recovering access to the shared [`ClusterState`].
+///
+/// The state is behind an `Arc<Mutex<…>>` so the cluster's components are
+/// `Send` and an elastic scenario can run under the sharded executor; all
+/// accesses still happen from whichever single thread is dispatching the
+/// owning engine, so the lock is uncontended. Poisoning is recovered (the
+/// state carries counters and logs worth reading after a panic).
+pub trait LockClusterState {
+    /// Locks the state for reading or writing.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ClusterState>;
+}
+
+impl LockClusterState for Mutex<ClusterState> {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ClusterState> {
+        self.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// Routes evacuation-job completions back into the cluster state and
 /// reports unfinished evacuations to the deadlock detector.
 struct DrainCoordinator {
-    state: Rc<RefCell<ClusterState>>,
+    state: Arc<Mutex<ClusterState>>,
 }
 
 impl Component for DrainCoordinator {
@@ -137,7 +154,7 @@ impl Component for DrainCoordinator {
         match msg.downcast::<ETransDone>() {
             Ok(done) => {
                 let idx = (done.tag >> 32) as usize;
-                let mut st = self.state.borrow_mut();
+                let mut st = self.state.lock_state();
                 st.track.span(
                     "reconfig",
                     &format!("evac.job node{idx}"),
@@ -164,7 +181,7 @@ impl Component for DrainCoordinator {
     fn outstanding(&self, out: &mut Vec<PendingWork>) {
         out.extend(
             self.state
-                .borrow()
+                .lock_state()
                 .pending_evac
                 .iter()
                 .filter(|&(_, &n)| n > 0)
@@ -180,7 +197,7 @@ impl Component for DrainCoordinator {
 /// fabric whose FAM population changes at runtime.
 #[derive(Clone)]
 pub struct ElasticCluster {
-    state: Rc<RefCell<ClusterState>>,
+    state: Arc<Mutex<ClusterState>>,
     /// The fabric switch.
     pub switch: ComponentId,
     /// The eTrans engine executing evacuations.
@@ -239,7 +256,7 @@ impl ElasticCluster {
         let next_node = (n_devices + n_hosts + 1) as u16;
         // Hosts occupy switch ports 0..n_hosts, devices the next ports.
         let port_of = (0..n_devices).map(|i| n_hosts + i).collect();
-        let state = Rc::new(RefCell::new(ClusterState {
+        let state = Arc::new(Mutex::new(ClusterState {
             heap,
             store: ShadowStore::new(),
             log: ReconfigLog::new(),
@@ -258,7 +275,7 @@ impl ElasticCluster {
         let coordinator = engine.add_component(
             "drain-coordinator",
             DrainCoordinator {
-                state: Rc::clone(&state),
+                state: Arc::clone(&state),
             },
         );
         ElasticCluster {
@@ -271,7 +288,7 @@ impl ElasticCluster {
     }
 
     /// The shared cluster state.
-    pub fn state(&self) -> &Rc<RefCell<ClusterState>> {
+    pub fn state(&self) -> &Arc<Mutex<ClusterState>> {
         &self.state
     }
 
@@ -292,18 +309,18 @@ impl ElasticCluster {
     /// spans). Devices hot-added later keep running untraced; the epoch
     /// instants still record their lifecycle.
     pub fn enable_tracing(&self, engine: &mut Engine, sink: &TraceSink) {
-        self.state.borrow().topo.enable_tracing(engine, sink);
+        self.state.lock_state().topo.enable_tracing(engine, sink);
         engine
             .component_mut::<TransactionEngine>(self.etrans)
             .set_trace(sink.track("evac-etrans"));
-        self.state.borrow_mut().track = sink.track("reconfig");
+        self.state.lock_state().track = sink.track("reconfig");
     }
 
     /// Snapshots fabric and evacuation counters into `reg` under
     /// `<prefix>…` names.
     pub fn collect_metrics(&self, engine: &Engine, reg: &mut MetricsRegistry, prefix: &str) {
         self.state
-            .borrow()
+            .lock_state()
             .topo
             .collect_metrics(engine, reg, prefix);
         let te = engine.component::<TransactionEngine>(self.etrans);
@@ -314,7 +331,7 @@ impl ElasticCluster {
 
     /// Audits every credit ledger in the cluster.
     pub fn audit(&self, engine: &Engine) -> AuditReport {
-        audit_topology(engine, &self.state.borrow().topo)
+        audit_topology(engine, &self.state.lock_state().topo)
     }
 
     /// Hot-adds a FAM chassis with the given profile, returning its heap
@@ -327,7 +344,7 @@ impl ElasticCluster {
     pub fn hot_add(&self, engine: &mut Engine, profile: MemNodeProfile) -> usize {
         let now = engine.now();
         let (node, range) = {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.state.lock_state();
             let node = NodeId(st.next_node);
             st.next_node += 1;
             let range = AddrRange::new(st.next_addr, profile.capacity);
@@ -354,7 +371,7 @@ impl ElasticCluster {
         // fabric manager would issue it.
         engine.post(self.switch, now, InstallPbrRoute { dst: node, port });
         let idx = {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.state.lock_state();
             let idx = st.topo.devices.len();
             st.topo.devices.push(DeviceHandle { fea, node, range });
             st.port_of.push(port);
@@ -369,14 +386,14 @@ impl ElasticCluster {
         let me = self.clone();
         engine.call_at(now + ROUTE_SETTLE, move |e| {
             let fhas: Vec<ComponentId> = {
-                let st = me.state.borrow();
+                let st = me.state.lock_state();
                 st.topo.hosts.iter().map(|h| h.fha).collect()
             };
             let at = e.now();
             for fha in fhas {
                 e.post(fha, at, InstallMapping { range, node });
             }
-            let mut st = me.state.borrow_mut();
+            let mut st = me.state.lock_state();
             st.heap.set_online(idx);
             st.bump_epoch(at, node, ReconfigKind::NodeAnnounced);
         });
@@ -399,7 +416,7 @@ impl ElasticCluster {
     ) -> EvacuationPlan {
         let now = engine.now();
         let (plan, node, submissions) = {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.state.lock_state();
             let targets: Vec<usize> = (0..st.heap.node_count())
                 .filter(|&i| i != idx && st.heap.node_state(i) == NodeState::Active)
                 .collect();
@@ -469,7 +486,7 @@ impl ElasticCluster {
     pub fn try_detach(&self, engine: &mut Engine, idx: usize) -> bool {
         let now = engine.now();
         let (node, port, fea) = {
-            let st = self.state.borrow();
+            let st = self.state.lock_state();
             if st.pending_evac.get(&idx).copied().unwrap_or(0) > 0 {
                 return false;
             }
@@ -497,7 +514,7 @@ impl ElasticCluster {
             sw.routing.remove_pbr(node);
             sw.reclaim_flows(node);
         }
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock_state();
         if st.heap.set_offline(idx).is_err() {
             // Unreachable (objects_on was empty above), but never panic in
             // lib code: leave the node draining.
@@ -517,7 +534,7 @@ impl ElasticCluster {
     pub fn naive_yank(&self, engine: &mut Engine, idx: usize) -> usize {
         let now = engine.now();
         let (node, doomed) = {
-            let st = self.state.borrow();
+            let st = self.state.lock_state();
             (st.topo.devices[idx].node, st.heap.objects_on(idx))
         };
         {
@@ -525,7 +542,7 @@ impl ElasticCluster {
             sw.routing.remove_pbr(node);
             sw.reclaim_flows(node);
         }
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock_state();
         let lost = st.store.destroy(&doomed);
         st.lost_objects += lost as u64;
         // Handles keep dangling at the dead node; only allocation stops.
@@ -552,7 +569,7 @@ impl ElasticCluster {
                 }
                 let me = self.clone();
                 engine.call_at(event.at, move |e| {
-                    let active = me.state.borrow().heap.node_state(idx) == NodeState::Active;
+                    let active = me.state.lock_state().heap.node_state(idx) == NodeState::Active;
                     if active {
                         me.begin_drain(e, idx, DrainReason::Failure);
                     }
@@ -587,7 +604,7 @@ mod tests {
 
     /// Allocates `n` objects with content.
     fn populate(cluster: &ElasticCluster, n: usize, size: u64) -> Vec<FabricBox> {
-        let mut st = cluster.state().borrow_mut();
+        let mut st = cluster.state().lock_state();
         (0..n)
             .map(|i| {
                 let obj = st.heap.alloc(size, PlacementHint::Auto).expect("fits");
@@ -604,11 +621,11 @@ mod tests {
         let idx = cluster.hot_add(&mut engine, fam(1 << 20));
         // Phase 1 only: heap slot exists but refuses allocations.
         assert_eq!(
-            cluster.state().borrow().heap.node_state(idx),
+            cluster.state().lock_state().heap.node_state(idx),
             NodeState::Draining
         );
         engine.run_until_idle();
-        let st = cluster.state().borrow();
+        let st = cluster.state().lock_state();
         assert_eq!(st.heap.node_state(idx), NodeState::Active);
         assert_eq!(st.log.count_of(ReconfigKind::AddStarted), 1);
         assert_eq!(st.log.count_of(ReconfigKind::NodeAnnounced), 1);
@@ -634,7 +651,7 @@ mod tests {
         }
         let sink = engine.add_component("sink", Sink { done: 0 });
         let (fha, addr) = {
-            let st = cluster.state().borrow();
+            let st = cluster.state().lock_state();
             (st.topo.hosts[0].fha, st.topo.devices[idx].range.base)
         };
         engine.post(
@@ -658,27 +675,29 @@ mod tests {
         let mut engine = Engine::new(13);
         let cluster = build(&mut engine, 2);
         let objs = populate(&cluster, 8, 4096);
-        let before = cluster.state().borrow().store.checksums();
+        let before = cluster.state().lock_state().store.checksums();
         // Both tiers are identical, so every object lands on the same
         // node — drain whichever one holds them; the other is the target.
         let victim = cluster
             .state()
-            .borrow()
+            .lock_state()
             .heap
             .node_of(objs[0])
             .expect("live");
         let plan = cluster.begin_drain(&mut engine, victim, DrainReason::Planned);
         assert!(plan.stranded.is_empty(), "other node has room");
         engine.run_until_idle();
-        let st = cluster.state().borrow();
-        assert_eq!(st.heap.node_state(victim), NodeState::Offline);
-        assert_eq!(st.heap.objects_on(victim).len(), 0);
-        assert_eq!(st.surviving(&objs), objs.len(), "no object lost");
-        for (&obj, &sum) in &before {
-            assert_eq!(st.store.checksum(obj), Some(sum), "byte-identical");
+        {
+            let st = cluster.state().lock_state();
+            assert_eq!(st.heap.node_state(victim), NodeState::Offline);
+            assert_eq!(st.heap.objects_on(victim).len(), 0);
+            assert_eq!(st.surviving(&objs), objs.len(), "no object lost");
+            for (&obj, &sum) in &before {
+                assert_eq!(st.store.checksum(obj), Some(sum), "byte-identical");
+            }
+            assert_eq!(st.log.count_of(ReconfigKind::EvacuationComplete), 1);
+            assert_eq!(st.log.count_of(ReconfigKind::NodeDetached), 1);
         }
-        assert_eq!(st.log.count_of(ReconfigKind::EvacuationComplete), 1);
-        assert_eq!(st.log.count_of(ReconfigKind::NodeDetached), 1);
         // The detached port is gone; ledgers still balance.
         assert!(cluster.audit(&engine).is_clean());
         assert!(engine.deadlock_report().is_none());
@@ -691,7 +710,7 @@ mod tests {
         let plan = cluster.begin_drain(&mut engine, 0, DrainReason::Planned);
         assert!(plan.moves.is_empty());
         engine.run_until_idle();
-        let st = cluster.state().borrow();
+        let st = cluster.state().lock_state();
         assert_eq!(st.heap.node_state(0), NodeState::Offline);
         assert_eq!(st.evac_jobs, 0);
     }
@@ -711,7 +730,7 @@ mod tests {
         let n = cluster.apply_failure_schedule(&mut engine, &schedule, &[0, 3]);
         assert_eq!(n, 1);
         engine.run_until_idle();
-        let st = cluster.state().borrow();
+        let st = cluster.state().lock_state();
         assert_eq!(st.log.count_of(ReconfigKind::FailureDrain), 1);
         assert_eq!(st.heap.node_state(1), NodeState::Offline);
         assert_eq!(st.lost_objects, 0);
@@ -724,7 +743,7 @@ mod tests {
         let objs = populate(&cluster, 4, 4096);
         let victim = cluster
             .state()
-            .borrow()
+            .lock_state()
             .heap
             .node_of(objs[0])
             .expect("live");
@@ -741,7 +760,7 @@ mod tests {
         }
         let sink = engine.add_component("sink", Sink { done: 0 });
         let (fha, addr) = {
-            let st = cluster.state().borrow();
+            let st = cluster.state().lock_state();
             let (node, bin) = st.heap.locate(objs[0]).expect("live");
             (st.topo.hosts[0].fha, st.fabric_addr(node, bin))
         };
@@ -768,6 +787,6 @@ mod tests {
             "stuck: {:?}",
             report.stuck
         );
-        assert_eq!(cluster.state().borrow().lost_objects, objs.len() as u64);
+        assert_eq!(cluster.state().lock_state().lost_objects, objs.len() as u64);
     }
 }

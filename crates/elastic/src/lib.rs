@@ -27,7 +27,7 @@ pub mod events;
 pub mod loadgen;
 pub mod store;
 
-pub use composer::{ClusterState, DrainReason, ElasticCluster, EVAC_TENANT};
+pub use composer::{ClusterState, DrainReason, ElasticCluster, LockClusterState, EVAC_TENANT};
 pub use epoch::{
     hot_add_naive, hot_add_plan, hot_remove_naive, hot_remove_plan, ReconfigPlan, UpdateStep,
 };

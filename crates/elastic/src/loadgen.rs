@@ -10,9 +10,8 @@
 //! so a wedged run surfaces in
 //! [`deadlock_report`](fcc_sim::Engine::deadlock_report).
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use fcc_core::heap::FabricBox;
 use fcc_fabric::adapter::{HostCompletion, HostOp, HostRequest};
@@ -20,7 +19,7 @@ use fcc_sim::{Component, ComponentId, Counter, Ctx, Histogram, Msg, PendingWork,
 use fcc_workloads::ZipfStream;
 use rand::Rng;
 
-use crate::composer::ClusterState;
+use crate::composer::{ClusterState, LockClusterState};
 
 /// Kick-off message: post one to the generator at start time.
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +27,7 @@ pub struct StartLoad;
 
 /// The closed-loop generator.
 pub struct HeapLoadGen {
-    state: Rc<RefCell<ClusterState>>,
+    state: Arc<Mutex<ClusterState>>,
     fha: ComponentId,
     host: u16,
     objects: Vec<FabricBox>,
@@ -55,7 +54,7 @@ impl HeapLoadGen {
     ///
     /// Panics if `objects` is empty or `window` is zero.
     pub fn new(
-        state: Rc<RefCell<ClusterState>>,
+        state: Arc<Mutex<ClusterState>>,
         fha: ComponentId,
         host: u16,
         objects: Vec<FabricBox>,
@@ -90,7 +89,7 @@ impl HeapLoadGen {
             let is_write = ctx.rng().gen_range(0..10u32) < 3;
             // Resolve through the live heap: migrations are transparent.
             let addr = {
-                let mut st = self.state.borrow_mut();
+                let mut st = self.state.lock_state();
                 match st.heap.locate(obj) {
                     Ok((node, bin)) => {
                         // Update the object's access profile (temperature,
@@ -182,7 +181,7 @@ mod tests {
             )],
         );
         let objs: Vec<FabricBox> = {
-            let mut st = cluster.state().borrow_mut();
+            let mut st = cluster.state().lock_state();
             (0..16)
                 .map(|i| {
                     let o = st.heap.alloc(1024, PlacementHint::Auto).expect("fits");
@@ -191,11 +190,11 @@ mod tests {
                 })
                 .collect()
         };
-        let fha = cluster.state().borrow().topo.hosts[0].fha;
+        let fha = cluster.state().lock_state().topo.hosts[0].fha;
         let gen = engine.add_component(
             "loadgen",
             HeapLoadGen::new(
-                Rc::clone(cluster.state()),
+                Arc::clone(cluster.state()),
                 fha,
                 100,
                 objs,

@@ -6,7 +6,7 @@
 use std::collections::BTreeMap;
 
 use fcc_core::heap::{FabricBox, NodeState, PlacementHint};
-use fcc_elastic::{DrainReason, ElasticCluster};
+use fcc_elastic::{DrainReason, ElasticCluster, LockClusterState};
 use fcc_fabric::topology::TopologySpec;
 use fcc_memnode::profile::{MemNodeKind, MemNodeProfile};
 use fcc_sim::Engine;
@@ -25,7 +25,7 @@ fn build(engine: &mut Engine, nodes: usize) -> ElasticCluster {
 }
 
 fn populate(cluster: &ElasticCluster, n: usize, size: u64) -> Vec<FabricBox> {
-    let mut st = cluster.state().borrow_mut();
+    let mut st = cluster.state().lock_state();
     (0..n)
         .map(|i| {
             // Test-fixture allocation: capacity is sized to fit.
@@ -49,12 +49,12 @@ fn objects_survive_drain_remove_readd_cycle_byte_identically() {
     let mut engine = Engine::new(0xC1C);
     let cluster = build(&mut engine, 2);
     let objs = populate(&cluster, 8, 4096);
-    let before: BTreeMap<FabricBox, u64> = cluster.state().borrow().store.checksums();
+    let before: BTreeMap<FabricBox, u64> = cluster.state().lock_state().store.checksums();
 
     // All objects land on one node (identical tiers, stable order).
     let first = cluster
         .state()
-        .borrow()
+        .lock_state()
         .heap
         .node_of(objs[0])
         .expect("live");
@@ -64,7 +64,7 @@ fn objects_survive_drain_remove_readd_cycle_byte_identically() {
     assert!(plan.stranded.is_empty(), "the peer node has room");
     engine.run_until_idle();
     {
-        let st = cluster.state().borrow();
+        let st = cluster.state().lock_state();
         assert_eq!(st.heap.node_state(first), NodeState::Offline);
     }
 
@@ -72,7 +72,7 @@ fn objects_survive_drain_remove_readd_cycle_byte_identically() {
     let added = cluster.hot_add(&mut engine, fam(1 << 20));
     engine.run_until_idle();
     assert_eq!(
-        cluster.state().borrow().heap.node_state(added),
+        cluster.state().lock_state().heap.node_state(added),
         NodeState::Active
     );
 
@@ -80,7 +80,7 @@ fn objects_survive_drain_remove_readd_cycle_byte_identically() {
     // hot-added node, exercising the full add-then-serve path.
     let second = cluster
         .state()
-        .borrow()
+        .lock_state()
         .heap
         .node_of(objs[0])
         .expect("still live");
@@ -89,7 +89,7 @@ fn objects_survive_drain_remove_readd_cycle_byte_identically() {
     assert!(plan.stranded.is_empty(), "the new node has room");
     engine.run_until_idle();
 
-    let st = cluster.state().borrow();
+    let st = cluster.state().lock_state();
     for &obj in &objs {
         assert_eq!(
             st.heap.node_of(obj).expect("live"),
@@ -132,7 +132,7 @@ mod ledger_balance {
                     cluster.hot_add(&mut engine, fam(1 << 20));
                 } else {
                     let active: Vec<usize> = {
-                        let st = cluster.state().borrow();
+                        let st = cluster.state().lock_state();
                         (0..st.heap.node_count())
                             .filter(|&i| st.heap.node_state(i) == NodeState::Active)
                             .collect()
@@ -150,10 +150,14 @@ mod ledger_balance {
             engine.run_until_idle();
             let report = cluster.audit(&engine);
             prop_assert!(report.is_clean(), "unbalanced ledger: {report:?}");
-            let st = cluster.state().borrow();
+            // Take the deadlock report before locking the cluster state:
+            // the scan polls DrainCoordinator::outstanding, which locks
+            // the state itself.
+            let deadlock = engine.deadlock_report();
+            let st = cluster.state().lock_state();
             prop_assert_eq!(st.surviving(&objs), objs.len());
             prop_assert_eq!(st.lost_objects, 0);
-            prop_assert!(engine.deadlock_report().is_none());
+            prop_assert!(deadlock.is_none());
         }
     }
 }

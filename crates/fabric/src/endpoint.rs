@@ -24,7 +24,10 @@ pub struct EndpointResponse {
 }
 
 /// A device reachable through an FEA: memory module, accelerator, etc.
-pub trait Endpoint: 'static {
+///
+/// `Send` because endpoints live inside components and the sharded
+/// executor moves whole engines across worker threads.
+pub trait Endpoint: Send + 'static {
     /// Accepts a transaction at `now` (the time the FEA finished
     /// reassembling it) and returns the device's response.
     fn service(&mut self, txn: &Transaction, now: SimTime) -> EndpointResponse;

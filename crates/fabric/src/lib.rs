@@ -38,6 +38,7 @@ pub mod ledger;
 pub mod manager;
 pub mod port;
 pub mod routing;
+pub mod sharded;
 pub mod switch;
 pub mod topology;
 

@@ -1,0 +1,326 @@
+//! Topology-driven shard assignment: a chain of switch domains, one
+//! shard per domain.
+//!
+//! [`sharded_chain`] carves a multi-switch fabric along its natural
+//! partition boundary — the switch domain — into the per-shard engines of
+//! a [`ShardedEngine`]. Each domain is a [`single_switch`-style] island
+//! (hosts and devices around one switch); adjacent domains are joined by
+//! long-haul cables modeled as [`ShardGateway`] pairs. Node ids and the
+//! host-physical address map are global, so a host anywhere can address a
+//! device anywhere: the local switch routes remote nodes toward the
+//! gateway port on the shortest chain direction, exactly as
+//! [`crate::topology::chain`] installs transit routes.
+//!
+//! The gateway relay latency *is* the conservative lookahead the sharded
+//! executor runs with (see [`fcc_sim::shard`]): it is the serialization +
+//! propagation budget of the inter-domain cable, which physically
+//! lower-bounds how soon one domain can observe another's traffic.
+//!
+//! [`single_switch`-style]: crate::topology::single_switch
+
+use fcc_proto::addr::{AddrMap, AddrRange, NodeId};
+use fcc_sim::shard::{ShardGateway, ShardedEngine};
+use fcc_sim::{ComponentId, SimTime};
+
+use crate::adapter::{Fea, Fha};
+use crate::endpoint::Endpoint;
+use crate::switch::FabricSwitch;
+use crate::topology::{DeviceHandle, HostHandle, Topology, TopologySpec, FAM_BASE};
+
+/// Hosts and devices of one switch domain in a [`sharded_chain`].
+pub struct DomainSpec {
+    /// Host servers attached to this domain's switch.
+    pub n_hosts: usize,
+    /// Devices attached to this domain's switch.
+    pub devices: Vec<Box<dyn Endpoint>>,
+}
+
+/// A fabric carved into per-domain shards.
+pub struct ShardedFabric {
+    /// One [`Topology`] per domain, in shard order. Each holds only its
+    /// own hosts, devices, and switch, but the shared global address map.
+    pub domains: Vec<Topology>,
+    /// Gateway pairs `(in domain d, in domain d+1)` for each cable.
+    pub gateways: Vec<(ComponentId, ComponentId)>,
+}
+
+impl ShardedFabric {
+    /// Every host across all domains, in global node order.
+    pub fn all_hosts(&self) -> impl Iterator<Item = (usize, &HostHandle)> + '_ {
+        self.domains
+            .iter()
+            .enumerate()
+            .flat_map(|(d, t)| t.hosts.iter().map(move |h| (d, h)))
+    }
+
+    /// Every device across all domains, in global node order.
+    pub fn all_devices(&self) -> impl Iterator<Item = (usize, &DeviceHandle)> + '_ {
+        self.domains
+            .iter()
+            .enumerate()
+            .flat_map(|(d, t)| t.devices.iter().map(move |dev| (d, dev)))
+    }
+}
+
+/// Builds a chain of single-switch domains over the shards of `sharded`,
+/// joined by gateway cables of one-way latency `cross_latency`, with all
+/// transit routes installed. The executor's lookahead becomes
+/// `cross_latency`.
+///
+/// # Panics
+///
+/// Panics if `domains.len()` differs from the shard count, or the chain
+/// has more than one domain and `cross_latency` is zero.
+pub fn sharded_chain(
+    sharded: &mut ShardedEngine,
+    spec: TopologySpec,
+    domains: Vec<DomainSpec>,
+    cross_latency: SimTime,
+) -> ShardedFabric {
+    assert_eq!(domains.len(), sharded.shard_count(), "one domain per shard");
+    let k = domains.len();
+    let mut map = AddrMap::new();
+    let mut next_node: u16 = 1;
+    let mut next_addr: u64 = FAM_BASE;
+    let mut alloc_node = || {
+        let id = NodeId(next_node);
+        next_node += 1;
+        id
+    };
+    // Stage every device first: the address map must be complete before
+    // any FHA is built (same discipline as the serial builders).
+    let mut staged: Vec<Vec<(ComponentId, NodeId, AddrRange)>> = Vec::new();
+    let mut hosts_per_domain: Vec<usize> = Vec::new();
+    for (d, domain) in domains.into_iter().enumerate() {
+        let mut out = Vec::new();
+        for dev in domain.devices {
+            let node = alloc_node();
+            let capacity = dev.capacity();
+            let range = if capacity > 0 {
+                let r = AddrRange::new(next_addr, capacity);
+                map.add_direct(r, node);
+                next_addr += capacity;
+                r
+            } else {
+                AddrRange::new(u64::MAX - 1, 1)
+            };
+            let fea = sharded.engine_mut(d).add_component(
+                format!("fea{}", node.0),
+                Fea::new(node, spec.switch.phys, spec.credit, dev),
+            );
+            out.push((fea, node, range));
+        }
+        staged.push(out);
+        hosts_per_domain.push(domain.n_hosts);
+    }
+    // One switch per domain.
+    let switches: Vec<ComponentId> = (0..k)
+        .map(|d| {
+            sharded
+                .engine_mut(d)
+                .add_component(format!("fs{d}"), FabricSwitch::new(spec.switch))
+        })
+        .collect();
+    // Inter-domain cables: a gateway pair per chain hop, each attached to
+    // its side's switch like any endpoint.
+    let mut gateways = Vec::new();
+    let mut right_port: Vec<Option<usize>> = vec![None; k];
+    let mut left_port: Vec<Option<usize>> = vec![None; k];
+    for d in 0..k.saturating_sub(1) {
+        let (gl, gr) = sharded.link(d, d + 1, cross_latency, &format!("cable{d}"));
+        let engine = sharded.engine_mut(d);
+        let pd = {
+            let s = engine.component_mut::<FabricSwitch>(switches[d]);
+            let p = s.add_port();
+            s.connect(p, gl);
+            p
+        };
+        engine
+            .component_mut::<ShardGateway>(gl)
+            .set_local_peer(switches[d]);
+        right_port[d] = Some(pd);
+        let engine = sharded.engine_mut(d + 1);
+        let pe = {
+            let s = engine.component_mut::<FabricSwitch>(switches[d + 1]);
+            let p = s.add_port();
+            s.connect(p, gr);
+            p
+        };
+        engine
+            .component_mut::<ShardGateway>(gr)
+            .set_local_peer(switches[d + 1]);
+        left_port[d + 1] = Some(pe);
+        gateways.push((gl, gr));
+    }
+    // Hosts (map is complete now), plus local attachments and routes.
+    let mut node_domain: Vec<(NodeId, usize)> = Vec::new();
+    let mut topo_hosts: Vec<Vec<HostHandle>> = (0..k).map(|_| Vec::new()).collect();
+    for d in 0..k {
+        for _ in 0..hosts_per_domain[d] {
+            let node = alloc_node();
+            let engine = sharded.engine_mut(d);
+            let fha = engine.add_component(
+                format!("fha{}", node.0),
+                Fha::new(
+                    node,
+                    spec.switch.phys,
+                    spec.credit,
+                    map.clone(),
+                    spec.fha_outstanding,
+                ),
+            );
+            let port = {
+                let s = engine.component_mut::<FabricSwitch>(switches[d]);
+                let p = s.add_port();
+                s.connect(p, fha);
+                s.routing.add_pbr(node, p);
+                p
+            };
+            let _ = port;
+            engine.component_mut::<Fha>(fha).connect(switches[d]);
+            topo_hosts[d].push(HostHandle { fha, node });
+            node_domain.push((node, d));
+        }
+        for &(fea, node, _) in &staged[d] {
+            let engine = sharded.engine_mut(d);
+            {
+                let s = engine.component_mut::<FabricSwitch>(switches[d]);
+                let p = s.add_port();
+                s.connect(p, fea);
+                s.routing.add_pbr(node, p);
+            }
+            engine.component_mut::<Fea>(fea).connect(switches[d]);
+            node_domain.push((node, d));
+        }
+    }
+    // Transit routes: remote nodes exit through the chainward gateway.
+    for d in 0..k {
+        for &(node, home) in &node_domain {
+            if home == d {
+                continue;
+            }
+            // The chain hop toward `home` exists because home != d.
+            #[allow(clippy::expect_used)]
+            let port = if home > d {
+                right_port[d].expect("right cable exists")
+            } else {
+                left_port[d].expect("left cable exists")
+            };
+            sharded
+                .engine_mut(d)
+                .component_mut::<FabricSwitch>(switches[d])
+                .routing
+                .add_pbr(node, port);
+        }
+    }
+    let domains = (0..k)
+        .map(|d| Topology {
+            hosts: std::mem::take(&mut topo_hosts[d]),
+            devices: staged[d]
+                .iter()
+                .map(|&(fea, node, range)| DeviceHandle { fea, node, range })
+                .collect(),
+            switches: vec![switches[d]],
+            addr_map: map.clone(),
+            manager: None,
+        })
+        .collect();
+    ShardedFabric { domains, gateways }
+}
+
+#[cfg(test)]
+mod tests {
+    use fcc_sim::{Component, Ctx, Msg, SimTime};
+
+    use super::*;
+    use crate::adapter::{HostCompletion, HostOp, HostRequest};
+    use crate::endpoint::FixedLatencyMemory;
+
+    struct Sink {
+        done: Vec<HostCompletion>,
+    }
+
+    impl Component for Sink {
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+            self.done
+                .push(msg.downcast::<HostCompletion>().expect("hc"));
+        }
+    }
+
+    fn mem() -> Box<dyn Endpoint> {
+        Box::new(FixedLatencyMemory::new(
+            SimTime::from_ns(100.0),
+            SimTime::from_ns(100.0),
+            1 << 20,
+        ))
+    }
+
+    fn build(shards: usize) -> (ShardedEngine, ShardedFabric) {
+        let mut sharded = ShardedEngine::new(11, shards);
+        let domains = (0..shards)
+            .map(|_| DomainSpec {
+                n_hosts: 1,
+                devices: vec![mem()],
+            })
+            .collect();
+        let fabric = sharded_chain(
+            &mut sharded,
+            TopologySpec::default(),
+            domains,
+            SimTime::from_ns(200.0),
+        );
+        (sharded, fabric)
+    }
+
+    #[test]
+    fn chain_of_domains_installs_transit_routes() {
+        let (sharded, fabric) = build(3);
+        assert_eq!(fabric.domains.len(), 3);
+        assert_eq!(fabric.gateways.len(), 2);
+        assert_eq!(sharded.lookahead(), Some(SimTime::from_ns(200.0)));
+        // The middle switch must know every node: 2 local (host+dev via
+        // local ports) + 4 remote (2 per side via gateway ports).
+        let mid = fabric.domains[1].switches[0];
+        let sw = sharded.engine(1).component::<FabricSwitch>(mid);
+        assert_eq!(sw.routing.pbr_entries(), 6);
+        // Ports: host + device + two cables.
+        assert_eq!(sw.port_count(), 4);
+    }
+
+    /// A host in domain 0 reads a device in domain 2, crossing two
+    /// gateway cables each way.
+    fn cross_domain_read(threads: usize) -> (u64, u64) {
+        let (mut sharded, fabric) = build(3);
+        let sink = sharded
+            .engine_mut(0)
+            .add_component("sink", Sink { done: vec![] });
+        let far = fabric.domains[2].devices[0];
+        let near_host = fabric.domains[0].hosts[0];
+        sharded.engine_mut(0).post(
+            near_host.fha,
+            SimTime::ZERO,
+            HostRequest {
+                op: HostOp::Read {
+                    addr: far.range.base,
+                    bytes: 64,
+                },
+                tag: 9,
+                reply_to: sink,
+            },
+        );
+        sharded.run(threads);
+        let done = &sharded.engine(0).component::<Sink>(sink).done;
+        assert_eq!(done.len(), 1, "read completed across two cables");
+        // Two cables (200ns each) each way + device (100ns) + three
+        // switch hops each way: well past 900ns.
+        assert!(done[0].latency() > SimTime::from_ns(900.0));
+        (done[0].latency().as_ps(), sharded.total_events())
+    }
+
+    #[test]
+    fn cross_domain_traffic_flows() {
+        let serial = cross_domain_read(1);
+        assert_eq!(cross_domain_read(2), serial);
+        assert_eq!(cross_domain_read(3), serial);
+    }
+}

@@ -43,11 +43,14 @@ impl ComponentId {
 }
 
 /// A delivered message: the sender, plus an opaque payload.
+///
+/// Payloads are `Send` so whole engines can move across worker threads
+/// in the sharded executor (see [`crate::shard`]).
 pub struct Msg {
     /// The component that scheduled this message, if any (`None` for
     /// messages posted by the harness through [`Engine::post`]).
     pub src: Option<ComponentId>,
-    payload: Box<dyn Any>,
+    payload: Box<dyn Any + Send>,
     type_name: &'static str,
 }
 
@@ -73,6 +76,13 @@ impl Msg {
     /// Returns the payload's concrete type name, for diagnostics.
     pub fn type_name(&self) -> &'static str {
         self.type_name
+    }
+
+    /// Splits the message into its boxed payload and type name without
+    /// downcasting. The shard gateway uses this to relay payloads it
+    /// does not understand (see [`crate::shard`]).
+    pub(crate) fn into_parts(self) -> (Box<dyn Any + Send>, &'static str) {
+        (self.payload, self.type_name)
     }
 }
 
@@ -119,8 +129,10 @@ impl MsgBatch<'_> {
 /// A simulated hardware or software entity driven by timestamped messages.
 ///
 /// The `Any` supertrait allows [`Engine::component`] to hand back concrete
-/// types via trait upcasting.
-pub trait Component: Any {
+/// types via trait upcasting. The `Send` supertrait lets the sharded
+/// executor (see [`crate::shard`]) move whole engines — components
+/// included — onto worker threads.
+pub trait Component: Any + Send {
     /// Handles one message delivered at the current simulation time.
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg);
 
@@ -151,7 +163,7 @@ pub trait Component: Any {
 
 enum EventKind {
     Message { target: ComponentId, msg: Msg },
-    Call(Box<dyn FnOnce(&mut Engine)>),
+    Call(Box<dyn FnOnce(&mut Engine) + Send>),
 }
 
 /// One slab slot: an event body, or a link in the free list.
@@ -369,6 +381,15 @@ impl Engine {
         self.core.queue.len()
     }
 
+    /// Returns the timestamp of the earliest pending event, if any.
+    ///
+    /// The sharded executor uses this to compute the global minimum
+    /// next-event time that anchors each conservative epoch.
+    #[inline]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.core.queue.peek().map(|e| SimTime::from_ps(e.time))
+    }
+
     /// Immutable access to a component, downcast to its concrete type.
     ///
     /// # Panics
@@ -413,7 +434,7 @@ impl Engine {
     }
 
     /// Schedules a message from the harness (no source component).
-    pub fn post<T: 'static>(&mut self, target: ComponentId, at: SimTime, payload: T) {
+    pub fn post<T: Send + 'static>(&mut self, target: ComponentId, at: SimTime, payload: T) {
         assert!(
             target.index() < self.components.len(),
             "unknown component id"
@@ -432,11 +453,40 @@ impl Engine {
         );
     }
 
+    /// Schedules an already-boxed payload from the harness, preserving its
+    /// recorded type name so receivers can still downcast. Used by the
+    /// sharded executor to inject cross-shard messages (see
+    /// [`crate::shard`]).
+    pub(crate) fn post_boxed(
+        &mut self,
+        target: ComponentId,
+        at: SimTime,
+        payload: Box<dyn Any + Send>,
+        type_name: &'static str,
+    ) {
+        assert!(
+            target.index() < self.components.len(),
+            "unknown component id"
+        );
+        let at = at.max(self.core.now);
+        self.core.push(
+            at,
+            EventKind::Message {
+                target,
+                msg: Msg {
+                    src: None,
+                    payload,
+                    type_name,
+                },
+            },
+        );
+    }
+
     /// Schedules a closure to run against the full engine at time `at`.
     ///
     /// Useful for harness-side load injection and probing: unlike a
     /// component, the closure may inspect and mutate any component.
-    pub fn call_at(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
+    pub fn call_at(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + Send + 'static) {
         let at = at.max(self.core.now);
         self.core.push(at, EventKind::Call(Box::new(f)));
     }
@@ -729,7 +779,7 @@ impl Ctx<'_> {
     }
 
     /// Schedules `payload` for `target` after `delay`.
-    pub fn send<T: 'static>(&mut self, target: ComponentId, delay: SimTime, payload: T) {
+    pub fn send<T: Send + 'static>(&mut self, target: ComponentId, delay: SimTime, payload: T) {
         let at = self.core.now + delay;
         self.core.push(
             at,
@@ -745,8 +795,32 @@ impl Ctx<'_> {
     }
 
     /// Schedules `payload` back to the current component after `delay`.
-    pub fn send_self<T: 'static>(&mut self, delay: SimTime, payload: T) {
+    pub fn send_self<T: Send + 'static>(&mut self, delay: SimTime, payload: T) {
         self.send(self.self_id, delay, payload);
+    }
+
+    /// Schedules an already-boxed payload for `target`, preserving its
+    /// recorded type name. The shard gateway relays opaque payloads to
+    /// its local switch with this (see [`crate::shard`]).
+    pub(crate) fn send_boxed(
+        &mut self,
+        target: ComponentId,
+        delay: SimTime,
+        payload: Box<dyn Any + Send>,
+        type_name: &'static str,
+    ) {
+        let at = self.core.now + delay;
+        self.core.push(
+            at,
+            EventKind::Message {
+                target,
+                msg: Msg {
+                    src: Some(self.self_id),
+                    payload,
+                    type_name,
+                },
+            },
+        );
     }
 
     /// The deterministic RNG shared by the whole simulation.

@@ -34,6 +34,7 @@
 pub mod calendar;
 pub mod engine;
 pub mod queueing;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -42,6 +43,7 @@ pub use engine::{
     PendingWork, StuckComponent, TraceEntry,
 };
 pub use queueing::TokenBucket;
+pub use shard::{ShardGateway, ShardedEngine};
 pub use stats::{jain_fairness, Counter, Gauge, Histogram, Summary, SummaryNs};
 pub use time::serialization_time;
 pub use time::SimTime;

@@ -1,0 +1,602 @@
+//! Conservative-lookahead sharded execution: many engines, one clock
+//! discipline.
+//!
+//! A [`ShardedEngine`] partitions a scenario into per-shard [`Engine`]s
+//! (one calendar queue each) and runs them on worker threads under the
+//! classic conservative synchronization scheme: because every cross-shard
+//! link carries a positive relay latency `L` (serialization and
+//! propagation of the long-haul cable between switch domains), a message
+//! leaving shard *a* at time `t` cannot affect shard *b* before `t + L`.
+//! Each epoch therefore
+//!
+//! 1. computes the global minimum next-event time `m` across all shards,
+//! 2. lets every shard run freely up to the *horizon* `m + L − 1`
+//!    (exclusive of `m + L`), staging outbound cross-shard messages into
+//!    per-`(src, dst)` mailbox cells, and
+//! 3. merges the staged messages into their target shards in the
+//!    deterministic order `(time, source shard, emission index)`.
+//!
+//! Every staged message is timestamped `t + L > m + L − 1`, i.e. strictly
+//! beyond the horizon, so no shard can receive a message in its past:
+//! the scheme is causally safe. It is also deadlock-free — the shard
+//! holding the global minimum always makes progress in step 2, so `m`
+//! advances by at least `L` per epoch and no null messages are needed
+//! (the barrier plays their role). See DESIGN.md for the full argument.
+//!
+//! # Determinism
+//!
+//! The shard decomposition is part of the *scenario* (derived from the
+//! topology), never of the thread count: `threads` in
+//! [`ShardedEngine::run`] only selects how many workers the fixed set of
+//! shards is spread over. Each shard is itself a deterministic
+//! single-threaded [`Engine`], the epoch schedule is a pure function of
+//! global simulation state, and the merge order is a pure function of
+//! the staged messages — so runs with 1, 2, or 16 worker threads produce
+//! byte-identical results.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+
+use crate::engine::{Component, ComponentId, Ctx, Engine, Msg};
+use crate::time::SimTime;
+
+/// A cross-shard message parked between epochs.
+struct StagedMsg {
+    /// Delivery time (sender dispatch time + link latency), in ps.
+    time_ps: u64,
+    /// Position in the source shard's emission order this epoch; the
+    /// third merge tie-break key after `(time, src shard)`.
+    emit_idx: u64,
+    /// Target component in the destination shard.
+    dst: ComponentId,
+    payload: Box<dyn Any + Send>,
+    type_name: &'static str,
+}
+
+/// One directed mailbox cell: messages staged from one shard to another.
+type Cell = Arc<Mutex<Vec<StagedMsg>>>;
+
+/// A staged message keyed for the deterministic merge:
+/// `(time, src shard, emission index, dst, payload, type name)`.
+type Inbound = (
+    u64,
+    usize,
+    u64,
+    ComponentId,
+    Box<dyn Any + Send>,
+    &'static str,
+);
+
+/// Locks a mailbox cell, recovering from poisoning (a panicked worker
+/// aborts the run anyway; the lock only guards a plain `Vec`).
+fn lock(cell: &Mutex<Vec<StagedMsg>>) -> MutexGuard<'_, Vec<StagedMsg>> {
+    cell.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The boundary component of a shard: egress relay for local traffic
+/// heading off-shard, ingress proxy for traffic arriving from its peer.
+///
+/// A gateway pair `(g_a, g_b)` created by [`ShardedEngine::link`] models
+/// one long-haul cable between two switch domains. Wire a gateway as the
+/// connected peer of a switch port: flits the switch transmits reach the
+/// gateway as ordinary messages (`src = switch`) and are staged for the
+/// remote shard with the cable latency added; messages the executor
+/// injects (`src = None`) are forwarded to the local attachment at the
+/// same timestamp, so the switch sees them arrive *from* the gateway and
+/// resolves its input port normally.
+pub struct ShardGateway {
+    /// Mailbox cell for this gateway's direction (`my shard → peer shard`).
+    outbox: Cell,
+    /// Shared per-source-shard emission counter; stamps staged messages
+    /// with a total order over the whole shard's emissions.
+    emit: Arc<AtomicU64>,
+    /// The peer gateway in the destination shard.
+    peer: Option<ComponentId>,
+    /// Local component injected traffic is forwarded to (the switch this
+    /// gateway is attached to).
+    local: Option<ComponentId>,
+    /// One-way relay latency of the modeled cable.
+    latency: SimTime,
+    /// Messages relayed toward the peer shard.
+    pub relayed_out: u64,
+    /// Messages injected by the executor and forwarded locally.
+    pub relayed_in: u64,
+}
+
+impl ShardGateway {
+    /// Sets the local component (normally the attached switch) that
+    /// injected cross-shard traffic is forwarded to.
+    pub fn set_local_peer(&mut self, local: ComponentId) {
+        self.local = Some(local);
+    }
+}
+
+impl Component for ShardGateway {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.src {
+            Some(_) => {
+                // Local traffic heading off-shard: stage it for the peer
+                // gateway one cable latency in the future. The staged
+                // timestamp is what gives the executor its lookahead.
+                let Some(peer) = self.peer else {
+                    // fcc-lint: allow(panic-in-lib) -- wiring error: gateway used before link() paired it
+                    panic!("shard gateway has no peer");
+                };
+                let (payload, type_name) = msg.into_parts();
+                lock(&self.outbox).push(StagedMsg {
+                    time_ps: (ctx.now() + self.latency).as_ps(),
+                    emit_idx: self.emit.fetch_add(1, Ordering::Relaxed),
+                    dst: peer,
+                    payload,
+                    type_name,
+                });
+                self.relayed_out += 1;
+            }
+            None => {
+                // Injected by the executor: hand to the local switch at
+                // this timestamp so it arrives with `src = gateway`.
+                let Some(local) = self.local else {
+                    // fcc-lint: allow(panic-in-lib) -- wiring error: set_local_peer was never called
+                    panic!("shard gateway has no local attachment");
+                };
+                let (payload, type_name) = msg.into_parts();
+                ctx.send_boxed(local, SimTime::ZERO, payload, type_name);
+                self.relayed_in += 1;
+            }
+        }
+    }
+}
+
+/// Shared state of one sharded run; one instance per [`ShardedEngine::run`].
+struct RunShared {
+    barrier: Barrier,
+    /// Global minimum next-event time this epoch (ps); `u64::MAX` = idle.
+    global_min: AtomicU64,
+    lookahead_ps: u64,
+    /// `channels[src][dst]` holds messages staged from shard `src` to
+    /// shard `dst`.
+    channels: Vec<Vec<Cell>>,
+}
+
+/// A set of per-shard [`Engine`]s executed under conservative-lookahead
+/// synchronization. See the [module docs](crate::shard) for the scheme.
+pub struct ShardedEngine {
+    engines: Vec<Engine>,
+    channels: Vec<Vec<Cell>>,
+    emit: Vec<Arc<AtomicU64>>,
+    lookahead: Option<SimTime>,
+}
+
+impl ShardedEngine {
+    /// Creates `shards` empty engines. Shard `s` gets a deterministic
+    /// seed derived from `seed` and `s`, so scenario randomness is
+    /// per-shard reproducible regardless of worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(seed: u64, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let engines = (0..shards)
+            .map(|s| Engine::new(seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        let channels = (0..shards)
+            .map(|_| (0..shards).map(|_| Cell::default()).collect())
+            .collect();
+        let emit = (0..shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        ShardedEngine {
+            engines,
+            channels,
+            emit,
+            lookahead: None,
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The engine of shard `s`.
+    pub fn engine(&self, s: usize) -> &Engine {
+        &self.engines[s]
+    }
+
+    /// Mutable access to the engine of shard `s` (topology building,
+    /// post-run inspection).
+    pub fn engine_mut(&mut self, s: usize) -> &mut Engine {
+        &mut self.engines[s]
+    }
+
+    /// The minimum cross-shard latency, i.e. the conservative lookahead.
+    /// `None` until the first [`ShardedEngine::link`].
+    pub fn lookahead(&self) -> Option<SimTime> {
+        self.lookahead
+    }
+
+    /// Total events dispatched across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.engines.iter().map(Engine::events_dispatched).sum()
+    }
+
+    /// Creates a linked gateway pair modeling a full-duplex cable of
+    /// one-way latency `latency` between shards `a` and `b`, and lowers
+    /// the run's lookahead to `latency` if it is the new minimum.
+    /// Returns `(gateway in a, gateway in b)`; attach each to a switch
+    /// port on its side and call [`ShardGateway::set_local_peer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, either index is out of range, or `latency`
+    /// is zero (zero lookahead would stall the epoch scheme).
+    pub fn link(
+        &mut self,
+        a: usize,
+        b: usize,
+        latency: SimTime,
+        name: &str,
+    ) -> (ComponentId, ComponentId) {
+        assert!(a != b, "gateway pair must span two shards");
+        assert!(
+            latency > SimTime::ZERO,
+            "cross-shard latency must be positive"
+        );
+        let ga = self.engines[a].add_component(
+            format!("{name}.gw{a}to{b}"),
+            ShardGateway {
+                outbox: Arc::clone(&self.channels[a][b]),
+                emit: Arc::clone(&self.emit[a]),
+                peer: None,
+                local: None,
+                latency,
+                relayed_out: 0,
+                relayed_in: 0,
+            },
+        );
+        let gb = self.engines[b].add_component(
+            format!("{name}.gw{b}to{a}"),
+            ShardGateway {
+                outbox: Arc::clone(&self.channels[b][a]),
+                emit: Arc::clone(&self.emit[b]),
+                peer: Some(ga),
+                local: None,
+                latency,
+                relayed_out: 0,
+                relayed_in: 0,
+            },
+        );
+        self.engines[a].component_mut::<ShardGateway>(ga).peer = Some(gb);
+        self.lookahead = Some(match self.lookahead {
+            Some(l) => l.min(latency),
+            None => latency,
+        });
+        (ga, gb)
+    }
+
+    /// Runs every shard to global idle using at most `threads` worker
+    /// threads (clamped to `[1, shard count]`). Byte-identical results
+    /// for any `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards exchange traffic but no [`ShardedEngine::link`]
+    /// was created (no lookahead), or a worker thread panics.
+    pub fn run(&mut self, threads: usize) {
+        let k = self.engines.len();
+        let m = threads.clamp(1, k);
+        // A single unlinked shard is just a serial engine.
+        let lookahead_ps = match self.lookahead {
+            Some(l) => l.as_ps(),
+            None if k == 1 => u64::MAX,
+            // fcc-lint: allow(panic-in-lib) -- wiring error: multi-shard run without any link
+            None => panic!("multi-shard run requires at least one link for lookahead"),
+        };
+        let shared = RunShared {
+            barrier: Barrier::new(m),
+            global_min: AtomicU64::new(u64::MAX),
+            lookahead_ps,
+            channels: self.channels.clone(),
+        };
+        // Chunk shards over workers; the assignment affects scheduling
+        // only, never results.
+        let mut bundles: Vec<Vec<(usize, Engine)>> = (0..m).map(|_| Vec::new()).collect();
+        for (s, engine) in self.engines.drain(..).enumerate() {
+            bundles[s % m].push((s, engine));
+        }
+        let mut returned: Vec<Option<Engine>> = (0..k).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            let handles: Vec<_> = bundles
+                .into_iter()
+                .map(|bundle| scope.spawn(move || worker_loop(bundle, shared)))
+                .collect();
+            for h in handles {
+                let bundle = match h.join() {
+                    Ok(b) => b,
+                    // fcc-lint: allow(panic-in-lib) -- worker panics propagate to the caller
+                    Err(_) => panic!("shard worker panicked"),
+                };
+                for (s, engine) in bundle {
+                    returned[s] = Some(engine);
+                }
+            }
+        });
+        self.engines = returned
+            .into_iter()
+            .map(|slot| match slot {
+                Some(e) => e,
+                // fcc-lint: allow(panic-in-lib) -- every worker returns every shard it was handed
+                None => unreachable!("shard engine lost by worker"),
+            })
+            .collect();
+    }
+}
+
+/// The per-worker epoch loop. `bundle` is the set of shards this worker
+/// owns; engines come back out when the run reaches global idle.
+fn worker_loop(mut bundle: Vec<(usize, Engine)>, shared: &RunShared) -> Vec<(usize, Engine)> {
+    loop {
+        // Phase A: contribute to the global minimum next-event time.
+        for (_, engine) in &bundle {
+            if let Some(t) = engine.next_event_time() {
+                shared.global_min.fetch_min(t.as_ps(), Ordering::SeqCst);
+            }
+        }
+        shared.barrier.wait();
+        let min = shared.global_min.load(Ordering::SeqCst);
+        if min == u64::MAX {
+            // Globally idle: no pending events anywhere and (because
+            // mailboxes were merged before this epoch's minimum was
+            // computed) no staged messages either.
+            break;
+        }
+        let horizon = SimTime::from_ps(min.saturating_add(shared.lookahead_ps - 1));
+        // Phase B: run freely up to the horizon; gateways stage
+        // cross-shard messages with timestamps strictly beyond it.
+        for (_, engine) in &mut bundle {
+            engine.run_until(horizon);
+        }
+        let sync = shared.barrier.wait();
+        if sync.is_leader() {
+            // Safe to reset here: every worker read `min` before the
+            // barrier above, and none reads it again until the next
+            // epoch's barrier.
+            shared.global_min.store(u64::MAX, Ordering::SeqCst);
+        }
+        // Phase C: merge staged messages into this worker's shards in
+        // `(time, src shard, emission index)` order.
+        for (dst, engine) in &mut bundle {
+            let mut inbound: Vec<Inbound> = Vec::new();
+            for (src, row) in shared.channels.iter().enumerate() {
+                for staged in lock(&row[*dst]).drain(..) {
+                    inbound.push((
+                        staged.time_ps,
+                        src,
+                        staged.emit_idx,
+                        staged.dst,
+                        staged.payload,
+                        staged.type_name,
+                    ));
+                }
+            }
+            inbound.sort_by_key(|&(time, src, emit, ..)| (time, src, emit));
+            for (time, _, _, target, payload, type_name) in inbound {
+                engine.post_boxed(target, SimTime::from_ps(time), payload, type_name);
+            }
+        }
+        shared.barrier.wait();
+    }
+    bundle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every `u64` payload to `target` after `delay`, decremented;
+    /// stops at zero (or when no target is wired).
+    struct Bouncer {
+        target: Option<ComponentId>,
+        delay: SimTime,
+        heard: Vec<(u64, u64)>,
+    }
+
+    impl Component for Bouncer {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let v = match msg.downcast::<u64>() {
+                Ok(v) => v,
+                Err(m) => panic!("unexpected payload {}", m.type_name()),
+            };
+            self.heard.push((ctx.now().as_ps(), v));
+            if v > 0 {
+                if let Some(t) = self.target {
+                    ctx.send(t, self.delay, v - 1);
+                }
+            }
+        }
+    }
+
+    fn bouncer(target: Option<ComponentId>, delay: SimTime) -> Bouncer {
+        Bouncer {
+            target,
+            delay,
+            heard: Vec::new(),
+        }
+    }
+
+    /// `(time ps, value)` observations of one bouncer.
+    type Heard = Vec<(u64, u64)>;
+
+    /// Two shards bouncing a counter through the gateway pair.
+    fn bounce_run(threads: usize) -> (Heard, Heard, u64) {
+        let mut sharded = ShardedEngine::new(7, 2);
+        let lat = SimTime::from_ns(50.0);
+        let (ga, gb) = sharded.link(0, 1, lat, "cable");
+        let delay = SimTime::from_ns(10.0);
+        let b0 = sharded
+            .engine_mut(0)
+            .add_component("b0", bouncer(Some(ga), delay));
+        let b1 = sharded
+            .engine_mut(1)
+            .add_component("b1", bouncer(Some(gb), delay));
+        sharded
+            .engine_mut(0)
+            .component_mut::<ShardGateway>(ga)
+            .set_local_peer(b0);
+        sharded
+            .engine_mut(1)
+            .component_mut::<ShardGateway>(gb)
+            .set_local_peer(b1);
+        sharded.engine_mut(0).post(b0, SimTime::ZERO, 6u64);
+        sharded.run(threads);
+        let h0 = sharded.engine(0).component::<Bouncer>(b0).heard.clone();
+        let h1 = sharded.engine(1).component::<Bouncer>(b1).heard.clone();
+        (h0, h1, sharded.total_events())
+    }
+
+    #[test]
+    fn gateway_pair_bounces_across_shards() {
+        let (h0, h1, _) = bounce_run(2);
+        let v0: Vec<u64> = h0.iter().map(|&(_, v)| v).collect();
+        let v1: Vec<u64> = h1.iter().map(|&(_, v)| v).collect();
+        assert_eq!(v0, vec![6, 4, 2, 0]);
+        assert_eq!(v1, vec![5, 3, 1]);
+        // Each hop costs the bouncer delay (10ns) + cable latency (50ns).
+        assert_eq!(h1[0].0, SimTime::from_ns(60.0).as_ps());
+        assert_eq!(h0[1].0, SimTime::from_ns(120.0).as_ps());
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let serial = bounce_run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(bounce_run(threads), serial, "threads={threads}");
+        }
+    }
+
+    /// Three shards; 1 and 2 each land one message in shard 0 at the same
+    /// instant. The `(time, src shard, emit)` merge key fixes the order.
+    fn star_run(threads: usize) -> Vec<(u64, u64)> {
+        let lat = SimTime::from_ns(10.0);
+        let mut sharded = ShardedEngine::new(0, 3);
+        let (g01, g10) = sharded.link(0, 1, lat, "a");
+        let (g02, g20) = sharded.link(0, 2, lat, "b");
+        let sink = sharded
+            .engine_mut(0)
+            .add_component("sink", bouncer(None, SimTime::ZERO));
+        sharded
+            .engine_mut(0)
+            .component_mut::<ShardGateway>(g01)
+            .set_local_peer(sink);
+        sharded
+            .engine_mut(0)
+            .component_mut::<ShardGateway>(g02)
+            .set_local_peer(sink);
+        // Shard 1 relays value 0, shard 2 relays value 1, both arriving
+        // in shard 0 at the same 15ns instant.
+        for (shard, gw_in, value) in [(1usize, g10, 1u64), (2, g20, 2)] {
+            let src = sharded
+                .engine_mut(shard)
+                .add_component("src", bouncer(Some(gw_in), SimTime::ZERO));
+            sharded
+                .engine_mut(shard)
+                .component_mut::<ShardGateway>(gw_in)
+                .set_local_peer(src);
+            sharded
+                .engine_mut(shard)
+                .post(src, SimTime::from_ns(5.0), value);
+        }
+        sharded.run(threads);
+        sharded.engine(0).component::<Bouncer>(sink).heard.clone()
+    }
+
+    #[test]
+    fn merge_order_breaks_ties_by_source_shard() {
+        let heard = star_run(1);
+        assert_eq!(heard.len(), 2, "one message from each shard");
+        assert_eq!(heard[0].0, heard[1].0, "same delivery instant");
+        // Shard 1 before shard 2: values arrive as [0, 1].
+        let values: Vec<u64> = heard.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![0, 1]);
+        for threads in [2, 3] {
+            assert_eq!(star_run(threads), heard, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_unlinked_shard_runs_serially() {
+        let mut sharded = ShardedEngine::new(3, 1);
+        let b = sharded
+            .engine_mut(0)
+            .add_component("b", bouncer(None, SimTime::from_ns(1.0)));
+        sharded.engine_mut(0).component_mut::<Bouncer>(b).target = Some(b);
+        sharded.engine_mut(0).post(b, SimTime::ZERO, 4u64);
+        sharded.run(4);
+        assert_eq!(sharded.engine(0).component::<Bouncer>(b).heard.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard latency must be positive")]
+    fn zero_latency_link_is_rejected() {
+        let mut sharded = ShardedEngine::new(0, 2);
+        sharded.link(0, 1, SimTime::ZERO, "bad");
+    }
+
+    /// A parameterized two-shard bounce: every observation (timestamps,
+    /// values, total event count) must be invariant to the worker count,
+    /// for any seed, hop count, cable latency, and component delay.
+    fn param_bounce(
+        seed: u64,
+        hops: u64,
+        lat_ps: u64,
+        delay_ps: u64,
+        threads: usize,
+    ) -> (Heard, Heard, u64) {
+        let mut sharded = ShardedEngine::new(seed, 2);
+        let (ga, gb) = sharded.link(0, 1, SimTime::from_ps(lat_ps), "cable");
+        let delay = SimTime::from_ps(delay_ps);
+        let b0 = sharded
+            .engine_mut(0)
+            .add_component("b0", bouncer(Some(ga), delay));
+        let b1 = sharded
+            .engine_mut(1)
+            .add_component("b1", bouncer(Some(gb), delay));
+        sharded
+            .engine_mut(0)
+            .component_mut::<ShardGateway>(ga)
+            .set_local_peer(b0);
+        sharded
+            .engine_mut(1)
+            .component_mut::<ShardGateway>(gb)
+            .set_local_peer(b1);
+        sharded.engine_mut(0).post(b0, SimTime::ZERO, hops);
+        sharded.run(threads);
+        let h0 = sharded.engine(0).component::<Bouncer>(b0).heard.clone();
+        let h1 = sharded.engine(1).component::<Bouncer>(b1).heard.clone();
+        (h0, h1, sharded.total_events())
+    }
+
+    mod properties {
+        use proptest::prelude::*;
+
+        use super::param_bounce;
+
+        proptest! {
+            /// Every observation is invariant to the worker count, for
+            /// any seed, hop count, cable latency, and component delay.
+            #[test]
+            fn bounce_is_worker_count_invariant(
+                seed in any::<u64>(),
+                hops in 0u64..24,
+                lat_ps in 1u64..500_000u64,
+                delay_ps in 0u64..100_000u64,
+                threads in 2usize..6,
+            ) {
+                let serial = param_bounce(seed, hops, lat_ps, delay_ps, 1);
+                let threaded = param_bounce(seed, hops, lat_ps, delay_ps, threads);
+                prop_assert_eq!(serial, threaded);
+            }
+        }
+    }
+}

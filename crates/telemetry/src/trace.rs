@@ -1,20 +1,22 @@
 //! The trace core: spans, tracks, and the shared [`TraceSink`].
 //!
 //! A sink is either *disabled* (the default — every emit is an `Option`
-//! check and an immediate return) or *recording* (an `Rc<RefCell<…>>`
-//! buffer shared by every [`Track`] handle cloned from it). The simulation
-//! is single-threaded, so interior mutability through `RefCell` is safe
-//! and emit methods take `&self`, letting components hold a handle without
-//! threading `&mut` access through the engine.
+//! check and an immediate return) or *recording* (an `Arc<Mutex<…>>`
+//! buffer shared by every [`Track`] handle cloned from it). Each engine
+//! dispatches on one thread and a sink is only shared within one engine's
+//! component graph, so the mutex is uncontended; it exists so sinks (and
+//! the components holding [`Track`] handles) are `Send` and whole engines
+//! can move onto the sharded executor's worker threads. Emit methods take
+//! `&self`, letting components hold a handle without threading `&mut`
+//! access through the engine.
 //!
 //! Spans are grouped two ways for display: by *process* (one per
 //! experiment scenario, e.g. `e3b-alone` vs `e3b-bulk`) and by *track*
 //! (one per component, e.g. `fha2` or `fs0.p1`). Trace ids tie the spans
 //! of one transaction together across tracks.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use fcc_sim::{DeadlockReport, SimTime};
 
@@ -115,11 +117,18 @@ impl TraceBuf {
     }
 }
 
-/// A shared trace buffer handle. Cloning is cheap (an `Rc` bump); all
+/// A shared trace buffer handle. Cloning is cheap (an `Arc` bump); all
 /// clones append to the same buffer.
 #[derive(Clone, Default)]
 pub struct TraceSink {
-    inner: Option<Rc<RefCell<TraceBuf>>>,
+    inner: Option<Arc<Mutex<TraceBuf>>>,
+}
+
+/// Locks a trace buffer, recovering from poisoning: the buffer holds no
+/// invariants a panicked emitter could break (appends only), so the data
+/// recorded before the panic is still worth exporting.
+fn lock(inner: &Mutex<TraceBuf>) -> MutexGuard<'_, TraceBuf> {
+    inner.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl fmt::Debug for TraceSink {
@@ -145,7 +154,7 @@ impl TraceSink {
     /// A recording sink with an empty buffer.
     pub fn recording() -> Self {
         TraceSink {
-            inner: Some(Rc::new(RefCell::new(TraceBuf::default()))),
+            inner: Some(Arc::new(Mutex::new(TraceBuf::default()))),
         }
     }
 
@@ -160,7 +169,7 @@ impl TraceSink {
         let Some(inner) = &self.inner else {
             return 0;
         };
-        let mut buf = inner.borrow_mut();
+        let mut buf = lock(inner);
         buf.processes.push(name.to_string());
         (buf.processes.len() - 1) as u32
     }
@@ -171,7 +180,7 @@ impl TraceSink {
         let Some(inner) = &self.inner else {
             return Track::default();
         };
-        let mut buf = inner.borrow_mut();
+        let mut buf = lock(inner);
         if buf.processes.is_empty() {
             buf.processes.push("sim".to_string());
         }
@@ -212,7 +221,7 @@ impl TraceSink {
     pub(crate) fn intern(&self, name: &str) -> LabelId {
         self.inner
             .as_ref()
-            .map(|inner| inner.borrow_mut().intern(name))
+            .map(|inner| lock(inner).intern(name))
             .unwrap_or(LabelId(0))
     }
 
@@ -222,11 +231,11 @@ impl TraceSink {
     /// clones) first; otherwise the buffer contents are cloned.
     pub fn into_dump(self) -> Option<TraceDump> {
         let inner = self.inner?;
-        let buf = match Rc::try_unwrap(inner) {
-            Ok(cell) => cell.into_inner(),
+        let buf = match Arc::try_unwrap(inner) {
+            Ok(mutex) => mutex.into_inner().unwrap_or_else(|e| e.into_inner()),
             // A stray Track still holds the buffer: fall back to cloning.
-            Err(rc) => {
-                let b = rc.borrow();
+            Err(arc) => {
+                let b = lock(&arc);
                 TraceBuf {
                     processes: b.processes.clone(),
                     tracks: b.tracks.clone(),
@@ -254,7 +263,7 @@ impl TraceSink {
         let Some(inner) = &self.inner else {
             return;
         };
-        let mut buf = inner.borrow_mut();
+        let mut buf = lock(inner);
         let pid_off = buf.processes.len() as u32;
         buf.processes.extend(dump.processes);
         let tid_off = buf.tracks.len() as u32;
@@ -272,12 +281,12 @@ impl TraceSink {
     }
 
     pub(crate) fn with_buf<R>(&self, f: impl FnOnce(&TraceBuf) -> R) -> Option<R> {
-        self.inner.as_ref().map(|inner| f(&inner.borrow()))
+        self.inner.as_ref().map(|inner| f(&lock(inner)))
     }
 
     fn push(&self, span: SpanRecord) {
         if let Some(inner) = &self.inner {
-            let mut buf = inner.borrow_mut();
+            let mut buf = lock(inner);
             let key = (span.tid, span.cat);
             buf.spans.push(span);
             let idx = buf.spans.len() - 1;
@@ -295,7 +304,7 @@ impl TraceSink {
         let Some(inner) = &self.inner else {
             return;
         };
-        let mut buf = inner.borrow_mut();
+        let mut buf = lock(inner);
         if let Some(&idx) = buf.last_by_tid.get(&(span.tid, span.cat)) {
             let prev = &mut buf.spans[idx];
             if prev.kind == SpanKind::Complete
@@ -317,10 +326,9 @@ impl TraceSink {
 
 /// An owned, thread-transferable snapshot of a recording sink's buffer.
 ///
-/// Produced by [`TraceSink::into_dump`] on a worker thread (where the
-/// `Rc`-based sink itself cannot travel) and re-attached to a main-thread
-/// sink with [`TraceSink::absorb`]. All ids (pids, tids, label ids) are
-/// local to the dump; `absorb` renumbers them.
+/// Produced by [`TraceSink::into_dump`] on a worker thread and re-attached
+/// to a main-thread sink with [`TraceSink::absorb`]. All ids (pids, tids,
+/// label ids) are local to the dump; `absorb` renumbers them.
 #[derive(Debug)]
 pub struct TraceDump {
     /// Process names; dump-local pid = index.
