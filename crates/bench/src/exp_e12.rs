@@ -1,0 +1,457 @@
+//! E12 — pod-scale multi-tenant interference with and without the
+//! fabric-resident QoS scheduler ([`fcc_sched`]).
+//!
+//! The topology and tenant mix are E3x's: eight single-switch domains
+//! joined by long-haul cables, eight tenants per domain — six
+//! latency-sensitive victims issuing shallow local 64 B writes, one local
+//! bulk streamer, and one deep-window hog camping a device four chain
+//! hops away. E3x *demonstrates* the interference pathology; E12 measures
+//! the remedy. Three runs:
+//!
+//! 1. **idle** — hogs and bulk writers stay silent: the victims'
+//!    uncontended p99 floor.
+//! 2. **off** — full interference, no scheduler: the pathology.
+//! 3. **on** — full interference with a [`fcc_sched::FabricScheduler`]
+//!    installed at every switch: per-tenant hierarchical credit
+//!    partitions gate admission per window, so hogs are contained to
+//!    their share while victims' floors hold.
+//!
+//! The headline metric is **victim p99 inflation over idle**: the
+//! acceptance bound is `inflation_on <= 2.0` while hogs still make
+//! progress. Every scheduler-governed switch is audited post-run
+//! (per-tenant ledger conservation, floors honored); the experiment
+//! reports the violation count, which must be zero.
+//!
+//! Like E3x, the scenario always runs on the sharded executor and
+//! `shards` selects only worker fan-out — results and telemetry exports
+//! are byte-identical for any value.
+
+use std::fmt;
+
+use fcc_fabric::credit::AllocPolicy;
+use fcc_fabric::sharded::{sharded_chain, DomainSpec, ShardedFabric};
+use fcc_fabric::switch::{FabricSwitch, QueueDiscipline};
+use fcc_sched::{CreditPartition, FabricScheduler, TenantShare};
+use fcc_sim::{ComponentId, Histogram, ShardedEngine, SimTime};
+use fcc_telemetry::{record_deadlock, tenant_metric, TraceSink};
+
+use crate::capture::Capture;
+use crate::exp_e3::{fabrex_device, fabrex_spec};
+use crate::exp_e3x::{CROSS_LATENCY_NS, DOMAINS, TENANTS_PER_DOMAIN};
+use crate::loadgen::{AddrPattern, LoadCfg, LoadGen, StartLoad};
+
+/// Victim tenants per domain (shallow local 64 B writers).
+const VICTIMS_PER_DOMAIN: usize = 6;
+/// The bulk tenant's per-op transfer size.
+const BULK_BYTES: u32 = 4096;
+/// The hog's window depth (as in E3e/E3x: deep enough to camp credits).
+const HOG_WINDOW: usize = 48;
+/// Scheduler credit pool per admission window at each switch.
+const SCHED_POOL: u32 = 320;
+/// Admission window length.
+const SCHED_WINDOW_NS: f64 = 1000.0;
+
+/// Tenant-share templates. Victims hold a floor and most of the weight;
+/// hogs are confined to a small share once victims are active.
+const VICTIM_SHARE: TenantShare = TenantShare {
+    group: 0,
+    weight: 8,
+    floor: 2,
+};
+const BULK_SHARE: TenantShare = TenantShare {
+    group: 1,
+    weight: 2,
+    floor: 1,
+};
+const HOG_SHARE: TenantShare = TenantShare {
+    group: 2,
+    weight: 1,
+    floor: 1,
+};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Idle,
+    Off,
+    On,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Idle => "idle",
+            Mode::Off => "off",
+            Mode::On => "on",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            Mode::Idle => 0x1D1E,
+            Mode::Off => 0x0FF0,
+            Mode::On => 0x0A0A,
+        }
+    }
+}
+
+/// Outcome of one mode's run.
+struct ModeRun {
+    /// Merged victim latency distribution (ps).
+    victim_latency: Histogram,
+    /// Mean hog throughput (ops/µs).
+    hog_ops_us: f64,
+    /// Flits admitted by schedulers (0 when ungoverned).
+    admitted: u64,
+    /// Admission probes deferred by schedulers.
+    deferred: u64,
+    /// Per-tenant ledger audit findings across all switches.
+    violations: u64,
+    /// Events dispatched.
+    events: u64,
+}
+
+/// E12 outcome.
+pub struct E12Result {
+    /// Total tenant load generators.
+    pub tenants: usize,
+    /// Victim p99 latency with hogs silent (ns).
+    pub victim_p99_idle_ns: f64,
+    /// Victim p99 latency under interference, scheduler off (ns).
+    pub victim_p99_off_ns: f64,
+    /// Victim p99 latency under interference, scheduler on (ns).
+    pub victim_p99_on_ns: f64,
+    /// Victim p999 latency, scheduler on (ns).
+    pub victim_p999_on_ns: f64,
+    /// Mean hog throughput, scheduler off (ops/µs).
+    pub hog_ops_us_off: f64,
+    /// Mean hog throughput, scheduler on (ops/µs).
+    pub hog_ops_us_on: f64,
+    /// Flits admitted by the schedulers in the governed run.
+    pub sched_admitted: u64,
+    /// Admission probes deferred in the governed run.
+    pub sched_deferred: u64,
+    /// Per-tenant ledger audit findings across every governed switch
+    /// (acceptance: zero).
+    pub ledger_violations: u64,
+    /// Events dispatched across all three runs (deterministic).
+    pub total_events: u64,
+}
+
+impl E12Result {
+    /// Victim p99 inflation over idle with the scheduler off.
+    pub fn inflation_off(&self) -> f64 {
+        self.victim_p99_off_ns / self.victim_p99_idle_ns.max(1e-9)
+    }
+
+    /// Victim p99 inflation over idle with the scheduler on.
+    pub fn inflation_on(&self) -> f64 {
+        self.victim_p99_on_ns / self.victim_p99_idle_ns.max(1e-9)
+    }
+
+    /// The isolation acceptance bound: governed victim p99 stays within
+    /// 2x the uncontended baseline.
+    pub fn isolation_bounded(&self) -> bool {
+        self.inflation_on() <= 2.0
+    }
+}
+
+/// Runs E12 with one worker thread.
+pub fn run_e12(quick: bool) -> E12Result {
+    run_e12_captured_seeded(quick, &mut Capture::disabled(), 0, 1)
+}
+
+/// Runs E12, feeding telemetry into `cap`, with `shards` worker threads.
+pub fn run_e12_captured_seeded(
+    quick: bool,
+    cap: &mut Capture,
+    seed: u64,
+    shards: usize,
+) -> E12Result {
+    let idle = run_mode(Mode::Idle, quick, cap, seed, shards);
+    let off = run_mode(Mode::Off, quick, cap, seed, shards);
+    let on = run_mode(Mode::On, quick, cap, seed, shards);
+    let s_idle = idle.victim_latency.summary_ns();
+    let s_off = off.victim_latency.summary_ns();
+    let s_on = on.victim_latency.summary_ns();
+    E12Result {
+        tenants: DOMAINS * TENANTS_PER_DOMAIN,
+        victim_p99_idle_ns: s_idle.p99,
+        victim_p99_off_ns: s_off.p99,
+        victim_p99_on_ns: s_on.p99,
+        victim_p999_on_ns: s_on.p999,
+        hog_ops_us_off: off.hog_ops_us,
+        hog_ops_us_on: on.hog_ops_us,
+        sched_admitted: on.admitted,
+        sched_deferred: on.deferred,
+        ledger_violations: idle.violations + off.violations + on.violations,
+        total_events: idle.events + off.events + on.events,
+    }
+}
+
+/// The scheduler for domain `d`'s switch: the pod-wide share policy,
+/// with only the domain's **own** hosts mapped. Admission is enforced at
+/// each tenant's attachment point, where a deferred flit waits in its
+/// own host-port FIFO and backpressures only its own adapter. Governing
+/// transit flits mid-fabric instead would HOL-block ungoverned traffic
+/// (completions, other tenants' transit) behind a deferred flit and pin
+/// link credits for up to a window — admission control composes with
+/// credit flow control only at the edge.
+fn scheduler_for(fabric: &ShardedFabric, d: usize) -> FabricScheduler {
+    let mut part = CreditPartition::new(SCHED_POOL);
+    for dd in 0..DOMAINS {
+        for h in 0..TENANTS_PER_DOMAIN {
+            let tenant = (dd * TENANTS_PER_DOMAIN + h) as u32;
+            let share = if h < VICTIMS_PER_DOMAIN {
+                VICTIM_SHARE
+            } else if h == VICTIMS_PER_DOMAIN {
+                BULK_SHARE
+            } else {
+                HOG_SHARE
+            };
+            part.add_tenant(tenant, share);
+        }
+    }
+    let mut sched = FabricScheduler::new(part, SimTime::from_ns(SCHED_WINDOW_NS));
+    for (h, host) in fabric.domains[d].hosts.iter().enumerate() {
+        let tenant = (d * TENANTS_PER_DOMAIN + h) as u32;
+        sched.map_node(host.node, tenant);
+    }
+    sched
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_mode(mode: Mode, quick: bool, cap: &mut Capture, seed: u64, shards: usize) -> ModeRun {
+    let horizon = if quick {
+        SimTime::from_us(25.0)
+    } else {
+        SimTime::from_us(120.0)
+    };
+    let mut sharded = ShardedEngine::new(0xE120 ^ seed ^ mode.salt(), DOMAINS);
+    let mut spec = fabrex_spec(QueueDiscipline::Fifo, AllocPolicy::Fair);
+    spec.fha_outstanding = 128;
+    let domains = (0..DOMAINS)
+        .map(|_| DomainSpec {
+            n_hosts: TENANTS_PER_DOMAIN,
+            devices: vec![fabrex_device()],
+        })
+        .collect();
+    let fabric: ShardedFabric = sharded_chain(
+        &mut sharded,
+        spec,
+        domains,
+        SimTime::from_ns(CROSS_LATENCY_NS),
+    );
+    if mode == Mode::On {
+        for (d, topo) in fabric.domains.iter().enumerate() {
+            let sched = scheduler_for(&fabric, d);
+            let engine = sharded.engine_mut(d);
+            for &sw in &topo.switches {
+                engine
+                    .component_mut::<FabricSwitch>(sw)
+                    .install_scheduler(sched.clone());
+            }
+        }
+    }
+    let mut sinks: Vec<TraceSink> = Vec::new();
+    if cap.is_enabled() {
+        for (d, topo) in fabric.domains.iter().enumerate() {
+            let sink = TraceSink::recording();
+            sink.begin_process(&format!("e12-{}-d{d}", mode.label()));
+            topo.enable_tracing(sharded.engine_mut(d), &sink);
+            sinks.push(sink);
+        }
+    }
+    let mut victims: Vec<(usize, usize, ComponentId)> = Vec::new();
+    let mut hogs: Vec<(usize, ComponentId)> = Vec::new();
+    for d in 0..DOMAINS {
+        let local_range = fabric.domains[d].devices[0].range;
+        let remote_range = fabric.domains[(d + DOMAINS / 2) % DOMAINS].devices[0].range;
+        for h in 0..TENANTS_PER_DOMAIN {
+            let fha = fabric.domains[d].hosts[h].fha;
+            let (base, op_bytes, window, class) = if h < VICTIMS_PER_DOMAIN {
+                (local_range.base, 64, 4, 0u8)
+            } else if h == VICTIMS_PER_DOMAIN {
+                (local_range.base + (1 << 24), BULK_BYTES, 8, 1)
+            } else {
+                (remote_range.base, 64, HOG_WINDOW, 2)
+            };
+            // Idle mode measures the victims' uncontended floor: only
+            // victim generators are started there.
+            if mode == Mode::Idle && class != 0 {
+                continue;
+            }
+            let cfg = LoadCfg {
+                fha,
+                base,
+                len: 1 << 20,
+                op_bytes,
+                write: true,
+                window,
+                count: None,
+                stop_at: horizon,
+                pattern: AddrPattern::Sequential,
+            };
+            let engine = sharded.engine_mut(d);
+            let lg =
+                engine.add_component(format!("load-{}-d{d}h{h}", mode.label()), LoadGen::new(cfg));
+            engine.post(lg, SimTime::ZERO, StartLoad);
+            match class {
+                0 => victims.push((d, d * TENANTS_PER_DOMAIN + h, lg)),
+                1 => {}
+                _ => hogs.push((d, lg)),
+            }
+        }
+    }
+    sharded.run(shards);
+    // Deterministic harvest, in domain order.
+    let mut violations = 0u64;
+    let (mut admitted, mut deferred) = (0u64, 0u64);
+    for d in 0..DOMAINS {
+        let engine = sharded.engine(d);
+        for &sw in &fabric.domains[d].switches {
+            let s = engine.component::<FabricSwitch>(sw);
+            let report = s.audit();
+            violations += report.findings.len() as u64;
+            if let Some(sched) = s.scheduler() {
+                admitted += sched.admitted;
+                deferred += sched.deferred;
+            }
+        }
+    }
+    for (d, sink) in sinks.into_iter().enumerate() {
+        if let Some(dump) = sink.into_dump() {
+            cap.sink.absorb(dump);
+        }
+        let engine = sharded.engine(d);
+        fabric.domains[d].collect_metrics(
+            engine,
+            &mut cap.metrics,
+            &format!("e12-{}-d{d}.", mode.label()),
+        );
+        if let Some(report) = engine.deadlock_report() {
+            record_deadlock(&cap.sink, &mut cap.metrics, &report, engine.now());
+        }
+    }
+    let mut victim_latency = Histogram::new();
+    for &(d, tenant, lg) in &victims {
+        let h = &sharded.engine(d).component::<LoadGen>(lg).latency;
+        victim_latency.merge(h);
+        if cap.is_enabled() {
+            cap.metrics.record_histogram(
+                &tenant_metric(
+                    &format!("e12-{}.", mode.label()),
+                    tenant as u32,
+                    "latency_ps",
+                ),
+                h,
+            );
+        }
+    }
+    let hog_ops_us = if hogs.is_empty() {
+        0.0
+    } else {
+        hogs.iter()
+            .map(|&(d, lg)| {
+                sharded.engine(d).component::<LoadGen>(lg).completed() as f64 / horizon.as_us()
+            })
+            .sum::<f64>()
+            / hogs.len() as f64
+    };
+    ModeRun {
+        victim_latency,
+        hog_ops_us,
+        admitted,
+        deferred,
+        violations,
+        events: sharded.total_events(),
+    }
+}
+
+impl fmt::Display for E12Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E12 — fabric-resident QoS scheduling under {}-tenant interference",
+            self.tenants
+        )?;
+        let rows = vec![
+            vec![
+                "idle (hogs silent)".to_string(),
+                format!("{:.0}", self.victim_p99_idle_ns),
+                "1.00".to_string(),
+                "-".to_string(),
+            ],
+            vec![
+                "scheduler off".to_string(),
+                format!("{:.0}", self.victim_p99_off_ns),
+                format!("{:.2}", self.inflation_off()),
+                format!("{:.2}", self.hog_ops_us_off),
+            ],
+            vec![
+                "scheduler on".to_string(),
+                format!("{:.0}", self.victim_p99_on_ns),
+                format!("{:.2}", self.inflation_on()),
+                format!("{:.2}", self.hog_ops_us_on),
+            ],
+        ];
+        write!(
+            f,
+            "{}",
+            crate::fmt_table(
+                &["mode", "victim p99 (ns)", "inflation", "hog ops/us"],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "governed p999 {:.0} ns; {} admitted / {} deferred flits; \
+             {} ledger violations; {} events",
+            self.victim_p999_on_ns,
+            self.sched_admitted,
+            self.sched_deferred,
+            self.ledger_violations,
+            self.total_events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar results and event counts are identical for any worker
+    /// fan-out (shards select threads, not decomposition).
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let base = run_e12_captured_seeded(true, &mut Capture::disabled(), 7, 1);
+        for workers in [2, 4] {
+            let r = run_e12_captured_seeded(true, &mut Capture::disabled(), 7, workers);
+            assert_eq!(r.total_events, base.total_events, "workers={workers}");
+            assert_eq!(r.victim_p99_idle_ns, base.victim_p99_idle_ns);
+            assert_eq!(r.victim_p99_off_ns, base.victim_p99_off_ns);
+            assert_eq!(r.victim_p99_on_ns, base.victim_p99_on_ns);
+            assert_eq!(r.hog_ops_us_on, base.hog_ops_us_on);
+            assert_eq!(r.sched_admitted, base.sched_admitted);
+            assert_eq!(r.sched_deferred, base.sched_deferred);
+        }
+    }
+
+    /// The acceptance criteria: bounded victim inflation under a clean
+    /// per-tenant ledger audit, while hogs still make progress.
+    #[test]
+    fn scheduler_bounds_victim_inflation_with_clean_ledgers() {
+        let r = run_e12(true);
+        assert_eq!(r.tenants, 64);
+        assert_eq!(r.ledger_violations, 0, "tenant ledger audit must be clean");
+        assert!(r.victim_p99_idle_ns > 0.0, "victims idle-ran");
+        assert!(
+            r.isolation_bounded(),
+            "victim p99 inflation {:.2} exceeds the 2x bound (idle {:.0} ns, on {:.0} ns)",
+            r.inflation_on(),
+            r.victim_p99_idle_ns,
+            r.victim_p99_on_ns
+        );
+        assert!(r.hog_ops_us_on > 0.0, "hogs fully starved by the scheduler");
+        assert!(r.sched_admitted > 0, "scheduler governed no traffic");
+    }
+}

@@ -19,8 +19,8 @@ use fcc_telemetry::{MetricsRegistry, TraceDump};
 use crate::capture::Capture;
 use crate::runner::par_map;
 use crate::{
-    exp_abl, exp_e10, exp_e11, exp_e3, exp_e3x, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8, exp_e9,
-    exp_f1, exp_nodes, exp_t1, exp_t2,
+    exp_abl, exp_e10, exp_e11, exp_e12, exp_e3, exp_e3x, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8,
+    exp_e9, exp_f1, exp_nodes, exp_t1, exp_t2,
 };
 
 /// Experiment registry: `(id, traced, cost, description)`.
@@ -28,7 +28,7 @@ use crate::{
 /// `cost` is a relative full-run duration estimate (roughly milliseconds
 /// on the reference machine) used only for longest-job-first scheduling
 /// in the parallel driver; it needs ordering fidelity, not accuracy.
-pub const ALL: [(&str, bool, u64, &str); 21] = [
+pub const ALL: [(&str, bool, u64, &str); 22] = [
     ("t1", false, 2, "Table 1: commodity memory fabrics registry"),
     (
         "t2",
@@ -77,6 +77,12 @@ pub const ALL: [(&str, bool, u64, &str); 21] = [
         true,
         340,
         "sharded 8-domain chain: 64-tenant interference",
+    ),
+    (
+        "e12",
+        true,
+        1000,
+        "fabric QoS scheduler: tenant isolation at pod scale",
     ),
     (
         "e4",
@@ -292,6 +298,27 @@ pub fn run_one(
             s.push(kv("victim_fairness", r.victim_fairness));
             s.push(kv("bulk_ops_us", r.bulk_ops_us));
             s.push(kv("hog_ops_us", r.hog_ops_us));
+            s.push(kv("total_events", r.total_events as f64));
+        }
+        "e12" => {
+            let r = exp_e12::run_e12_captured_seeded(quick, cap, seed, shards);
+            put(&mut text, &r);
+            s.push(kv("tenants", r.tenants as f64));
+            s.push(kv("victim_p99_idle_ns", r.victim_p99_idle_ns));
+            s.push(kv("victim_p99_off_ns", r.victim_p99_off_ns));
+            s.push(kv("victim_p99_on_ns", r.victim_p99_on_ns));
+            s.push(kv("victim_p999_on_ns", r.victim_p999_on_ns));
+            s.push(kv("inflation_off", r.inflation_off()));
+            s.push(kv("inflation_on", r.inflation_on()));
+            s.push(kv("hog_ops_us_off", r.hog_ops_us_off));
+            s.push(kv("hog_ops_us_on", r.hog_ops_us_on));
+            s.push(kv("sched_admitted", r.sched_admitted as f64));
+            s.push(kv("sched_deferred", r.sched_deferred as f64));
+            s.push(kv("ledger_violations", r.ledger_violations as f64));
+            s.push(kv(
+                "isolation_bounded",
+                f64::from(u8::from(r.isolation_bounded())),
+            ));
             s.push(kv("total_events", r.total_events as f64));
         }
         "e4" => {

@@ -18,6 +18,7 @@ pub mod capture;
 pub mod exp_abl;
 pub mod exp_e10;
 pub mod exp_e11;
+pub mod exp_e12;
 pub mod exp_e3;
 pub mod exp_e3x;
 pub mod exp_e4;

@@ -17,7 +17,7 @@
 //! * [`TransOwnership`] selects how completion is delivered: back to the
 //!   caller, dropped (detached), or resolved as a distributed future.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use fcc_fabric::adapter::{HostCompletion, HostOp, HostRequest};
 use fcc_sim::{Component, ComponentId, Counter, Ctx, Histogram, Msg, SimTime, TokenBucket};
@@ -142,7 +142,7 @@ struct Dispatch {
 pub struct TransactionEngine {
     agents: Vec<ComponentId>,
     agent_load: Vec<u64>,
-    tenants: HashMap<u32, TokenBucket>,
+    tenants: BTreeMap<u32, TokenBucket>,
     inflight: HashMap<u64, (Job, usize)>,
     delayed: VecDeque<Job>,
     /// Earliest outstanding [`Retry`] wake-up, if one is scheduled. Kept
@@ -177,7 +177,7 @@ impl TransactionEngine {
         TransactionEngine {
             agents,
             agent_load: vec![0; n],
-            tenants: HashMap::new(),
+            tenants: BTreeMap::new(),
             inflight: HashMap::new(),
             delayed: VecDeque::new(),
             retry_at: None,
@@ -202,6 +202,21 @@ impl TransactionEngine {
             limit.tenant,
             TokenBucket::new(limit.gbps, limit.burst.max(1)),
         );
+    }
+
+    /// Sources all tenant limits from a fabric-scheduler budget
+    /// derivation, replacing any ad-hoc per-tenant throttles. This keeps
+    /// the engine's host-side pacing consistent with the admission
+    /// policy the fabric switches enforce: one [`fcc_sched`] partition
+    /// is the single policy surface for both.
+    pub fn source_budgets(&mut self, rates: &[fcc_sched::TenantRate]) {
+        for r in rates {
+            self.set_tenant_limit(TenantLimit {
+                tenant: r.tenant,
+                gbps: r.gbps,
+                burst: r.burst_bytes,
+            });
+        }
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, job: Job) {
@@ -756,6 +771,46 @@ mod tests {
                 "immediate transfer was throttled: {lat}"
             );
         }
+    }
+
+    #[test]
+    fn budgets_sourced_from_partition_pace_like_explicit_limits() {
+        use fcc_sched::{tenant_rates, CreditPartition, TenantShare};
+        let (mut engine, te, sink) = setup();
+        // One tenant owning the whole pool of a 8 Gbit/s admission point
+        // with 4 KiB flits: equivalent to the explicit 8 Gbit/s limit in
+        // `tenant_throttle_paces_a_stream_of_transfers`.
+        let mut p = CreditPartition::new(1);
+        p.add_tenant(
+            0,
+            TenantShare {
+                group: 0,
+                weight: 1,
+                floor: 1,
+            },
+        );
+        let rates = tenant_rates(&p, 8.0, 4096);
+        engine
+            .component_mut::<TransactionEngine>(te)
+            .source_budgets(&rates);
+        for tag in [1, 2] {
+            engine.post(
+                te,
+                fcc_sim::SimTime::ZERO,
+                submit(64 * 1024, tag, sink, TransOwnership::Caller),
+            );
+        }
+        engine.run_until_idle();
+        let s = engine.component::<Sink>(sink);
+        assert_eq!(s.done.len(), 2);
+        let first = s.done.iter().find(|d| d.tag == 1).expect("first");
+        let second = s.done.iter().find(|d| d.tag == 2).expect("second");
+        let lat1 = first.completed_at - first.issued_at;
+        let lat2 = second.completed_at - second.issued_at;
+        assert!(
+            lat2 > lat1 + fcc_sim::SimTime::from_us(50.0),
+            "partition-sourced budget must pace: {lat1} vs {lat2}"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ use fcc_proto::channel::MsgClass;
 use fcc_proto::flit::FlitPayload;
 use fcc_proto::link::CreditConfig;
 use fcc_proto::phys::PhysConfig;
+use fcc_sched::{FabricScheduler, InstallScheduler};
 use fcc_sim::{Component, ComponentId, Counter, Ctx, Msg, PendingWork, SimTime, TokenBucket};
 use fcc_telemetry::Track;
 
@@ -165,6 +166,10 @@ struct Kick;
 #[derive(Debug, Clone, Copy)]
 struct WindowTick;
 
+/// Self-message: tenant-scheduler window rollover.
+#[derive(Debug, Clone, Copy)]
+struct SchedTick;
+
 #[derive(Debug)]
 struct Entry {
     payload: FlitPayload,
@@ -188,6 +193,12 @@ pub struct FabricSwitch {
     rr_input: usize,
     ramp: Vec<Option<RampUpState>>,
     flows: BTreeMap<FlowId, TokenBucket>,
+    /// Tenant admission point, when fabric-level QoS is installed. The
+    /// partition gate layers over the per-output ramp gate: a flit
+    /// dispatches only when both its input's ramp allocation and its
+    /// tenant's partition window admit it.
+    sched: Option<FabricScheduler>,
+    sched_tick_armed: bool,
     tick_armed: bool,
     /// Earliest pending Kick self-message (dedup: one in flight).
     next_kick_at: Option<SimTime>,
@@ -213,6 +224,8 @@ impl FabricSwitch {
             rr_input: 0,
             ramp: Vec::new(),
             flows: BTreeMap::new(),
+            sched: None,
+            sched_tick_armed: false,
             tick_armed: false,
             next_kick_at: None,
             trace: Track::default(),
@@ -330,6 +343,24 @@ impl FabricSwitch {
         self.trace = track;
     }
 
+    /// Installs (or replaces) the tenant admission scheduler. Builder
+    /// form — install before traffic flows; the scheduler's window tick
+    /// arms when the first flit is admitted. For installation mid-run,
+    /// send [`InstallScheduler`] instead.
+    pub fn install_scheduler(&mut self, sched: FabricScheduler) {
+        self.sched = Some(sched);
+    }
+
+    /// The installed tenant scheduler, if any.
+    pub fn scheduler(&self) -> Option<&FabricScheduler> {
+        self.sched.as_ref()
+    }
+
+    /// Mutable access to the installed tenant scheduler.
+    pub fn scheduler_mut(&mut self) -> Option<&mut FabricScheduler> {
+        self.sched.as_mut()
+    }
+
     /// Total flits waiting in ingress queues.
     pub fn queued(&self) -> usize {
         let fifo: usize = self.fifo.iter().map(|q| q.len()).sum();
@@ -368,6 +399,11 @@ impl FabricSwitch {
                 if let Err(e) = state.audit() {
                     report.push(format!("ramp[output {out}]"), e);
                 }
+            }
+        }
+        if let Some(sched) = &self.sched {
+            if let Err(e) = sched.audit() {
+                report.push("sched", e);
             }
         }
         report
@@ -456,6 +492,7 @@ impl FabricSwitch {
             }
         }
         self.arm_tick(ctx);
+        self.arm_sched_tick(ctx);
         self.request_kick(ctx, ready_at);
     }
 
@@ -480,6 +517,25 @@ impl FabricSwitch {
             self.tick_armed = true;
             ctx.send_self(window, WindowTick);
         }
+    }
+
+    /// Arms the tenant scheduler's window rollover, if one is installed
+    /// and not already pending. Re-armed from the tick handler while
+    /// flits are queued, so an exhausted tenant's flits always have a
+    /// refill coming — the admission gate can defer but never strand.
+    fn arm_sched_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.sched_tick_armed {
+            return;
+        }
+        if let Some(sched) = &self.sched {
+            self.sched_tick_armed = true;
+            ctx.send_self(sched.window(), SchedTick);
+        }
+    }
+
+    /// Non-consuming tenant admission probe for a flit of `flow`.
+    fn sched_admits(&mut self, flow: FlowId) -> bool {
+        self.sched.as_mut().is_none_or(|s| s.admits(flow.src))
     }
 
     fn ramp_state(&mut self, output: usize) -> Option<&mut RampUpState> {
@@ -552,6 +608,9 @@ impl FabricSwitch {
         }
         if let Some(bucket) = self.flows.get_mut(&flow) {
             bucket.force_consume(now, self.cfg.phys.flit_mode.bytes());
+        }
+        if let Some(sched) = self.sched.as_mut() {
+            sched.charge(flow.src);
         }
     }
 
@@ -633,6 +692,10 @@ impl FabricSwitch {
             // HOL blocking: the whole input queue waits behind its head.
             Err(None) => return false,
         }
+        // Tenant out of partition credits: wait for the SchedTick refill.
+        if !self.sched_admits(flow) {
+            return false;
+        }
         if !self.ports[out].link.can_send(class) {
             return false;
         }
@@ -671,6 +734,10 @@ impl FabricSwitch {
                     continue;
                 }
                 Err(None) => continue,
+            }
+            // Tenant out of partition credits: wait for the SchedTick refill.
+            if !self.sched_admits(flow) {
+                continue;
             }
             if !self.ports[out].link.can_send(class) {
                 continue;
@@ -775,6 +842,33 @@ impl Component for FabricSwitch {
                 self.tick_armed = false;
                 if self.queued() > 0 {
                     self.arm_tick(ctx);
+                    self.schedule(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SchedTick>() {
+            Ok(SchedTick) => {
+                if let Some(sched) = self.sched.as_mut() {
+                    debug_assert!(sched.audit().is_ok(), "{:?}", sched.audit());
+                    sched.rollover();
+                    debug_assert!(sched.audit().is_ok(), "{:?}", sched.audit());
+                }
+                self.sched_tick_armed = false;
+                if self.queued() > 0 {
+                    self.arm_sched_tick(ctx);
+                    self.schedule(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<InstallScheduler>() {
+            Ok(r) => {
+                self.install_scheduler(r.sched);
+                if self.queued() > 0 {
+                    self.arm_sched_tick(ctx);
                     self.schedule(ctx);
                 }
                 return;
@@ -923,5 +1017,49 @@ mod tests {
         };
         assert_eq!(FabricSwitch::dst_of(&d), Some(NodeId(9)));
         assert_eq!(FabricSwitch::dst_of(&FlitPayload::Idle), None);
+    }
+
+    #[test]
+    fn scheduler_gates_mapped_tenants_and_audits_clean() {
+        use fcc_sched::{CreditPartition, TenantShare};
+        use fcc_sim::SimTime;
+
+        let mut sw = FabricSwitch::new(SwitchConfig::fabrex_like());
+        let mut part = CreditPartition::new(4);
+        part.add_tenant(
+            7,
+            TenantShare {
+                group: 0,
+                weight: 1,
+                floor: 1,
+            },
+        );
+        let mut sched = FabricScheduler::new(part, SimTime::from_ns(1000.0));
+        sched.map_node(NodeId(3), 7);
+        sw.install_scheduler(sched);
+
+        let mapped = FlowId {
+            src: NodeId(3),
+            dst: NodeId(9),
+        };
+        let unmapped = FlowId {
+            src: NodeId(5),
+            dst: NodeId(9),
+        };
+        // The mapped tenant drains its whole allocation, then defers;
+        // unmapped sources stay ungoverned throughout.
+        for _ in 0..4 {
+            assert!(sw.sched_admits(mapped));
+            sw.record_send(0, 0, mapped, SimTime::ZERO);
+        }
+        assert!(!sw.sched_admits(mapped));
+        assert!(sw.sched_admits(unmapped));
+        let sched = sw.scheduler().unwrap();
+        assert_eq!(sched.admitted, 4);
+        assert_eq!(sched.deferred, 1);
+        assert!(sw.audit().is_clean(), "{:?}", sw.audit());
+        // A window rollover refills the partition.
+        sw.scheduler_mut().unwrap().rollover();
+        assert!(sw.sched_admits(mapped));
     }
 }

@@ -52,7 +52,8 @@ pub fn allowed_deps(package: &str) -> Option<&'static [&'static str]> {
     const TELEMETRY: &[&str] = SIM;
     const WORKLOADS: &[&str] = SIM;
     const PROTO: &[&str] = &["fcc-sim", "fcc-telemetry"];
-    const FABRIC: &[&str] = &["fcc-sim", "fcc-telemetry", "fcc-proto"];
+    const SCHED: &[&str] = &["fcc-sim", "fcc-proto"];
+    const FABRIC: &[&str] = &["fcc-sim", "fcc-telemetry", "fcc-proto", "fcc-sched"];
     const MEMNODE: &[&str] = &["fcc-sim", "fcc-telemetry", "fcc-proto", "fcc-fabric"];
     const CACHE: &[&str] = &[
         "fcc-sim",
@@ -65,6 +66,7 @@ pub fn allowed_deps(package: &str) -> Option<&'static [&'static str]> {
         "fcc-sim",
         "fcc-telemetry",
         "fcc-proto",
+        "fcc-sched",
         "fcc-fabric",
         "fcc-memnode",
         "fcc-cache",
@@ -86,6 +88,7 @@ pub fn allowed_deps(package: &str) -> Option<&'static [&'static str]> {
         "fcc-telemetry" => Some(TELEMETRY),
         "fcc-workloads" => Some(WORKLOADS),
         "fcc-proto" => Some(PROTO),
+        "fcc-sched" => Some(SCHED),
         "fcc-fabric" => Some(FABRIC),
         "fcc-memnode" => Some(MEMNODE),
         "fcc-cache" => Some(CACHE),
@@ -135,6 +138,13 @@ mod tests {
         let proto = allowed_deps("fcc-proto").unwrap_or(&[]);
         assert!(proto.contains(&"fcc-sim"));
         assert!(!proto.contains(&"fcc-fabric"));
+        // fcc-sched sits below the fabric: the switch pulls policy from
+        // it, never the other way around.
+        let sched = allowed_deps("fcc-sched").unwrap_or(&[]);
+        assert!(sched.contains(&"fcc-proto"));
+        assert!(!sched.contains(&"fcc-fabric"));
+        let fabric = allowed_deps("fcc-fabric").unwrap_or(&[]);
+        assert!(fabric.contains(&"fcc-sched"));
         // fcc-sim depends on no fcc crate.
         assert_eq!(allowed_deps("fcc-sim"), Some(&[][..]));
         // Tooling is unrestricted.

@@ -1,0 +1,77 @@
+//! Rate-budget derivation: partition shares as Gbit/s budgets.
+//!
+//! Endpoints that pace in sustained bandwidth rather than credits per
+//! window — the eTrans engine's per-tenant token buckets — source their
+//! budgets from the same [`CreditPartition`] the fabric admission points
+//! enforce, so host-side pacing and fabric-side admission agree on one
+//! policy instead of maintaining parallel ad-hoc throttles.
+
+use crate::partition::{CreditPartition, TenantId};
+
+/// A tenant's derived sustained-rate budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantRate {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Sustained rate in Gbit/s: the tenant's fraction of the pool
+    /// applied to the admission point's total bandwidth.
+    pub gbps: f64,
+    /// Burst allowance in bytes: one window's credit allocation worth
+    /// of flits.
+    pub burst_bytes: u64,
+}
+
+/// Derives per-tenant rate budgets from `partition`: each tenant's share
+/// of `total_gbps` is its allocation over the effective pool, and its
+/// burst is its window allocation in flits of `flit_bytes`. Returned in
+/// tenant-id order.
+pub fn tenant_rates(
+    partition: &CreditPartition,
+    total_gbps: f64,
+    flit_bytes: u32,
+) -> Vec<TenantRate> {
+    let pool = f64::from(partition.pool().max(1));
+    partition
+        .allocations()
+        .map(|(tenant, alloc)| TenantRate {
+            tenant,
+            gbps: total_gbps * f64::from(alloc) / pool,
+            burst_bytes: (u64::from(alloc) * u64::from(flit_bytes)).max(u64::from(flit_bytes)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::TenantShare;
+
+    #[test]
+    fn rates_are_proportional_and_exhaustive() {
+        let mut p = CreditPartition::new(100);
+        p.add_tenant(
+            1,
+            TenantShare {
+                group: 0,
+                weight: 1,
+                floor: 0,
+            },
+        );
+        p.add_tenant(
+            2,
+            TenantShare {
+                group: 0,
+                weight: 3,
+                floor: 0,
+            },
+        );
+        let rates = tenant_rates(&p, 64.0, 256);
+        assert_eq!(rates.len(), 2);
+        let total: f64 = rates.iter().map(|r| r.gbps).sum();
+        assert!((total - 64.0).abs() < 1e-9, "budgets exhaust the link");
+        // Floors are min-1, so the split is (1+24.75) : (1+74.25), a
+        // shade under 3:1.
+        assert!(rates[1].gbps > 2.5 * rates[0].gbps);
+        assert!(rates[0].burst_bytes >= 256);
+    }
+}

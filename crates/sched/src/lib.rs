@@ -1,0 +1,41 @@
+//! Fabric-resident multi-tenant QoS scheduling.
+//!
+//! The paper's Design Principle #2 moves resource management *into* the
+//! fabric: credit allocation, admission, and tenant coordination are
+//! fabric-level concerns, not per-host ones. This crate is that policy
+//! surface, as three layers:
+//!
+//! - [`partition`] — hierarchical weighted credit partitioning: a
+//!   windowed credit pool divided among tenant *groups* and, within each
+//!   group, among tenants, with per-tenant weights, guaranteed floors,
+//!   and work-conserving redistribution of idle tenants' shares. Every
+//!   tenant carries its own ledger, and [`CreditPartition::audit`]
+//!   verifies the isolation invariants (allocations exactly exhaust the
+//!   pool; no tenant spends past its partition; floors always honored).
+//! - [`admission`] — the fabric-level admission point: a
+//!   [`FabricScheduler`] classifies flits by their source node's tenant
+//!   and enforces the partition at switch ingress. `fcc-fabric` installs
+//!   one per switch; `fcc-core`'s eTrans keeps its host-side pacing but
+//!   sources its per-tenant budgets from the same partition (see
+//!   [`budget`]), so there is a single policy surface instead of
+//!   scattered ad-hoc throttles.
+//! - [`budget`] — derives per-tenant sustained-rate budgets
+//!   ([`TenantRate`]) from a partition, for endpoints that pace in
+//!   Gbit/s rather than credits per window.
+//!
+//! The isolation story is *verified*, not just measured: `fcc-verify`'s
+//! `check-sched` model check drives [`CreditPartition`] through every
+//! small-K demand interleaving and proves a hog tenant cannot starve a
+//! floor-holding tenant, and the switch-level ledger audits run after
+//! every E12 interference experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod budget;
+pub mod partition;
+
+pub use admission::{FabricScheduler, InstallScheduler};
+pub use budget::{tenant_rates, TenantRate};
+pub use partition::{CreditPartition, TenantId, TenantShare};

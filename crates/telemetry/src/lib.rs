@@ -34,7 +34,7 @@ pub mod perfetto;
 pub mod report;
 pub mod trace;
 
-pub use metrics::{MetricValue, MetricsRegistry};
+pub use metrics::{tenant_metric, MetricValue, MetricsRegistry};
 pub use report::TraceData;
 pub use trace::{
     record_deadlock, LabelId, SpanKind, SpanRecord, TraceCtx, TraceDump, TraceSink, Track,

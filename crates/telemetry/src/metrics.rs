@@ -37,6 +37,14 @@ pub struct MetricsRegistry {
     metrics: BTreeMap<String, MetricValue>,
 }
 
+/// Builds the canonical dotted metric name for a per-tenant series:
+/// `{prefix}tenant{NNN}.{name}`. Tenant ids are zero-padded to three
+/// digits so lexicographic registry order matches numeric tenant order
+/// in exports.
+pub fn tenant_metric(prefix: &str, tenant: u32, name: &str) -> String {
+    format!("{prefix}tenant{tenant:03}.{name}")
+}
+
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -217,6 +225,12 @@ mod tests {
         reg.add_counter("a.b", 3);
         reg.add_counter("a.b", 4);
         assert_eq!(reg.counter("a.b"), Some(7));
+    }
+
+    #[test]
+    fn tenant_metric_names_sort_numerically() {
+        assert_eq!(tenant_metric("e12.", 7, "lat"), "e12.tenant007.lat");
+        assert!(tenant_metric("e12.", 9, "lat") < tenant_metric("e12.", 10, "lat"));
     }
 
     #[test]

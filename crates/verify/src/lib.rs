@@ -15,14 +15,21 @@
 //!   and proves no flit is dropped at a missing route or delivered to a
 //!   detached port, printing a minimal counterexample when a plan is
 //!   unsafe.
+//! - [`sched`] — an exhaustive isolation checker for the fabric QoS
+//!   scheduler ([`fcc_sched`]): it drives the real credit-partition
+//!   ledger through every small-K per-window demand schedule and proves
+//!   a saturating hog can never starve a floor-holding tenant, the
+//!   per-tenant ledgers stay conservation-clean, and the partition is
+//!   work-conserving.
 //!
-//! The `check-coherence` and `check-reconfig` binaries run the standard
-//! configurations and exit non-zero (printing a full counterexample
-//! trace) on any violation; `scripts/check.sh` wires them into the
-//! repo's verification gate.
+//! The `check-coherence`, `check-reconfig` and `check-sched` binaries
+//! run the standard configurations and exit non-zero (printing a full
+//! counterexample trace) on any violation; `scripts/check.sh` wires
+//! them into the repo's verification gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coherence;
 pub mod reconfig;
+pub mod sched;

@@ -28,6 +28,9 @@ cargo run --release -p fcc-verify --bin check-coherence
 echo "==> reconfiguration model check (hot-add/hot-remove plans vs in-flight traffic)"
 cargo run --release -p fcc-verify --bin check-reconfig
 
+echo "==> scheduler isolation model check (credit partitions vs every demand schedule)"
+cargo run --release -p fcc-verify --bin check-sched
+
 echo "==> traced experiment smoke (telemetry export end to end)"
 artifacts="${TELEMETRY_ARTIFACT_DIR:-target/telemetry-smoke}"
 mkdir -p "$artifacts"
@@ -47,5 +50,11 @@ grep -q '"managed_lost_objects": 0' "$artifacts/churn-results.json"
 grep -q '"managed_deadlocked": 0' "$artifacts/churn-results.json"
 # Reconfiguration epochs must be visible in the exported trace.
 grep -q 'reconfig' "$artifacts/churn-trace.json"
+
+echo "==> interference smoke (E12: scheduler bounds victim p99, ledgers audit clean)"
+cargo run --release -p fcc-bench --bin experiments -- --quick e12 \
+    --json "$artifacts/e12-results.json"
+grep -q '"ledger_violations": 0' "$artifacts/e12-results.json"
+grep -q '"isolation_bounded": 1' "$artifacts/e12-results.json"
 
 echo "all checks passed"

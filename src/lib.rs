@@ -7,6 +7,8 @@
 //! * [`proto`] — CXL Flex Bus protocol model (flits, channels, layers).
 //! * [`fabric`] — switches, adapters, routing, credit-based flow control,
 //!   the central arbiter, and the communication-fabric baseline.
+//! * [`sched`] — fabric-resident multi-tenant QoS scheduling: hierarchical
+//!   credit partitioning, admission control, and verified tenant ledgers.
 //! * [`memnode`] — fabric-attached memory node models (CPU-less NUMA,
 //!   CC-NUMA, non-CC NUMA, COMA).
 //! * [`cache`] — host memory hierarchy and pipeline stall accounting.
@@ -32,5 +34,6 @@ pub use fcc_core as unifabric;
 pub use fcc_fabric as fabric;
 pub use fcc_memnode as memnode;
 pub use fcc_proto as proto;
+pub use fcc_sched as sched;
 pub use fcc_sim as sim;
 pub use fcc_workloads as workloads;
