@@ -16,7 +16,8 @@
 //!   Every export is byte-identical for any `--jobs` value: scenarios are
 //!   fully isolated and outputs are assembled in scenario order.
 //! * `--shards <n>` sets the worker-thread fan-out of sharded-executor
-//!   scenarios (`e3x`; default 1). The shard decomposition is fixed by
+//!   scenarios (`e3x`, `e12`, `e13`; default 1). The shard decomposition
+//!   is fixed by
 //!   the topology, so exports are byte-identical for any `--shards`
 //!   value, composed freely with `--jobs`.
 //! * `--json <file>` writes every run experiment's scalar results as one

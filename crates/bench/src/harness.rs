@@ -19,8 +19,8 @@ use fcc_telemetry::{MetricsRegistry, TraceDump};
 use crate::capture::Capture;
 use crate::runner::par_map;
 use crate::{
-    exp_abl, exp_e10, exp_e11, exp_e12, exp_e3, exp_e3x, exp_e4, exp_e5, exp_e6, exp_e7, exp_e8,
-    exp_e9, exp_f1, exp_nodes, exp_t1, exp_t2,
+    exp_abl, exp_e10, exp_e11, exp_e12, exp_e13, exp_e3, exp_e3x, exp_e4, exp_e5, exp_e6, exp_e7,
+    exp_e8, exp_e9, exp_f1, exp_nodes, exp_t1, exp_t2,
 };
 
 /// Experiment registry: `(id, traced, cost, description)`.
@@ -28,7 +28,7 @@ use crate::{
 /// `cost` is a relative full-run duration estimate (roughly milliseconds
 /// on the reference machine) used only for longest-job-first scheduling
 /// in the parallel driver; it needs ordering fidelity, not accuracy.
-pub const ALL: [(&str, bool, u64, &str); 22] = [
+pub const ALL: [(&str, bool, u64, &str); 23] = [
     ("t1", false, 2, "Table 1: commodity memory fabrics registry"),
     (
         "t2",
@@ -83,6 +83,12 @@ pub const ALL: [(&str, bool, u64, &str); 22] = [
         true,
         1000,
         "fabric QoS scheduler: tenant isolation at pod scale",
+    ),
+    (
+        "e13",
+        true,
+        1400,
+        "far-memory serving tier: per-tenant SLO under diurnal load",
     ),
     (
         "e4",
@@ -319,6 +325,27 @@ pub fn run_one(
                 "isolation_bounded",
                 f64::from(u8::from(r.isolation_bounded())),
             ));
+            s.push(kv("total_events", r.total_events as f64));
+        }
+        "e13" => {
+            let r = exp_e13::run_e13_captured_seeded(quick, cap, seed, shards);
+            put(&mut text, &r);
+            s.push(kv("tenants", r.tenants as f64));
+            s.push(kv("requests", r.requests as f64));
+            s.push(kv("base_p99_peak_ns", r.base_p99_peak_ns));
+            s.push(kv("base_p99_trough_ns", r.base_p99_trough_ns));
+            s.push(kv("base_attain_peak", r.base_attain_peak));
+            s.push(kv("off_p99_peak_ns", r.off_p99_peak_ns));
+            s.push(kv("on_p99_peak_ns", r.on_p99_peak_ns));
+            s.push(kv("on_p99_trough_ns", r.on_p99_trough_ns));
+            s.push(kv("on_p999_peak_ns", r.on_p999_peak_ns));
+            s.push(kv("off_attain_peak", r.off_attain_peak));
+            s.push(kv("on_attain_peak", r.on_attain_peak));
+            s.push(kv("fcc_speedup_p99", r.fcc_speedup_p99()));
+            s.push(kv("sched_recovery_p99", r.sched_recovery_p99()));
+            s.push(kv("lost_objects", r.lost_objects as f64));
+            s.push(kv("ledger_violations", r.ledger_violations as f64));
+            s.push(kv("slo_bounded", f64::from(u8::from(r.slo_bounded()))));
             s.push(kv("total_events", r.total_events as f64));
         }
         "e4" => {

@@ -72,6 +72,14 @@ pub fn allowed_deps(package: &str) -> Option<&'static [&'static str]> {
         "fcc-cache",
         "fcc-workloads",
     ];
+    const SERVE: &[&str] = &[
+        "fcc-sim",
+        "fcc-telemetry",
+        "fcc-fabric",
+        "fcc-memnode",
+        "fcc-core",
+        "fcc-workloads",
+    ];
     const UPPER: &[&str] = &[
         "fcc-sim",
         "fcc-telemetry",
@@ -93,6 +101,7 @@ pub fn allowed_deps(package: &str) -> Option<&'static [&'static str]> {
         "fcc-memnode" => Some(MEMNODE),
         "fcc-cache" => Some(CACHE),
         "fcc-core" => Some(CORE),
+        "fcc-serve" => Some(SERVE),
         "fcc-elastic" | "fcc-baseband" => Some(UPPER),
         // Tooling and the root facade may depend on anything.
         "fcc-bench" | "fcc-verify" | "fcc" => None,
@@ -145,6 +154,13 @@ mod tests {
         assert!(!sched.contains(&"fcc-fabric"));
         let fabric = allowed_deps("fcc-fabric").unwrap_or(&[]);
         assert!(fabric.contains(&"fcc-sched"));
+        // fcc-serve is an application over the runtime: it may use the
+        // core and the fabric but never the bench harness or elasticity.
+        let serve = allowed_deps("fcc-serve").unwrap_or(&[]);
+        assert!(serve.contains(&"fcc-core"));
+        assert!(serve.contains(&"fcc-workloads"));
+        assert!(!serve.contains(&"fcc-elastic"));
+        assert_eq!(classify("fcc-serve"), CrateClass::DeterministicCore);
         // fcc-sim depends on no fcc crate.
         assert_eq!(allowed_deps("fcc-sim"), Some(&[][..]));
         // Tooling is unrestricted.

@@ -1,0 +1,28 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! A trace-driven far-memory serving tier over the UniFabric runtime.
+//!
+//! The paper argues fabric-centric resource management pays off at
+//! *application* scale; this crate supplies the application. A
+//! [`KvStore`] keeps its keyspace in the [`fcc_core::UnifiedHeap`] and
+//! moves value bytes through a pluggable backend — the FCC path
+//! (eTrans through the [`fcc_core::TransactionEngine`], GETs on the
+//! paper's immediate bit, PUTs paced by per-tenant budgets) or the
+//! commfabric baseline (one-sided verbs through an
+//! [`fcc_fabric::commfabric::RdmaNic`]) — while hit counters and
+//! version bumps run as active messages on the
+//! [`fcc_core::FaaEngine`]. An open-loop [`ServeClient`] population
+//! drives it: Poisson arrivals modulated by a deterministic diurnal
+//! curve, Zipf key popularity, configurable read/write mix and value
+//! sizes, one `fcc-sched` tenant id per client so fabric governance
+//! composes. Per-tenant SLO accounting lands in
+//! [`fcc_telemetry::SloAccountant`]s split by peak/trough issue window.
+//!
+//! Experiment E13 (`fcc-bench`) runs this tier pod-scale over the
+//! 8-domain sharded chain.
+
+pub mod client;
+pub mod store;
+
+pub use client::{ServeClient, ServeClientCfg, StartClient};
+pub use store::{Backend, KvOp, KvReply, KvRequest, KvStore, KvStoreCfg};

@@ -25,6 +25,9 @@
 //! * [`report`] — parses an exported trace back and computes per-hop
 //!   breakdowns, credit-wait congestion attribution, and RTT tail
 //!   statistics (the `trace-report` binary's engine).
+//! * [`slo`] — per-tenant SLO accounting for serving workloads: exact
+//!   attainment counts plus replay-stable log-bucketed latency
+//!   histograms (p50/p99/p999), mergeable across shards.
 //! * [`json`] — the minimal hand-rolled JSON writer/parser both sides use
 //!   (the build environment has no `serde_json`).
 
@@ -32,10 +35,12 @@ pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod report;
+pub mod slo;
 pub mod trace;
 
 pub use metrics::{tenant_metric, MetricValue, MetricsRegistry};
 pub use report::TraceData;
+pub use slo::SloAccountant;
 pub use trace::{
     record_deadlock, LabelId, SpanKind, SpanRecord, TraceCtx, TraceDump, TraceSink, Track,
 };

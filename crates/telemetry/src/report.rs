@@ -61,6 +61,23 @@ pub struct RttGroup {
     pub max_ns: f64,
 }
 
+/// Serving request latency statistics for one (process, tenant) group.
+#[derive(Debug, Clone)]
+pub struct ServeSloGroup {
+    /// Scenario name.
+    pub process: String,
+    /// Tenant span label (e.g. `req-t007`).
+    pub tenant: String,
+    /// Completed requests.
+    pub count: u64,
+    /// Median latency (ns).
+    pub p50_ns: f64,
+    /// 99th percentile latency (ns).
+    pub p99_ns: f64,
+    /// 99.9th percentile latency (ns).
+    pub p999_ns: f64,
+}
+
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -232,6 +249,34 @@ impl TraceData {
             .collect()
     }
 
+    /// Serving-tier request latency statistics grouped by
+    /// (process, tenant span label). Serving spans are the `serve`
+    /// category spans the E13 clients emit (one per completed request,
+    /// named `req-t{NNN}`); unlike [`rtt_groups`](Self::rtt_groups) the
+    /// tail here reaches to p999 — the serving SLO family.
+    pub fn serve_slo_groups(&self) -> Vec<ServeSloGroup> {
+        let mut map: BTreeMap<(u32, &str), Vec<u64>> = BTreeMap::new();
+        for ev in &self.events {
+            if ev.cat == "serve" && ev.ph == 'X' {
+                map.entry((ev.pid, &ev.name)).or_default().push(ev.dur_ps);
+            }
+        }
+        map.into_iter()
+            .map(|((pid, name), mut durs)| {
+                durs.sort_unstable();
+                let count = durs.len() as u64;
+                ServeSloGroup {
+                    process: self.process_name(pid),
+                    tenant: name.to_string(),
+                    count,
+                    p50_ns: percentile(&durs, 0.50) as f64 / 1000.0,
+                    p99_ns: percentile(&durs, 0.99) as f64 / 1000.0,
+                    p999_ns: percentile(&durs, 0.999) as f64 / 1000.0,
+                }
+            })
+            .collect()
+    }
+
     /// Every span of one transaction, ordered by start time — the per-hop
     /// breakdown of a single remote access. `pid` restricts the breakdown
     /// to one scenario: FHA transaction ids are per-adapter sequence
@@ -359,6 +404,22 @@ impl TraceData {
                     out,
                     "{:<20} {:<14} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
                     g.process, g.name, g.count, g.mean_ns, g.p50_ns, g.p99_ns, g.max_ns
+                );
+            }
+        }
+        let serve = self.serve_slo_groups();
+        if !serve.is_empty() {
+            let _ = writeln!(out, "\n-- serving SLO by tenant --");
+            let _ = writeln!(
+                out,
+                "{:<20} {:<12} {:>8} {:>10} {:>10} {:>10}",
+                "scenario", "tenant", "count", "p50(ns)", "p99(ns)", "p999(ns)"
+            );
+            for g in &serve {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:<12} {:>8} {:>10.0} {:>10.0} {:>10.0}",
+                    g.process, g.tenant, g.count, g.p50_ns, g.p99_ns, g.p999_ns
                 );
             }
         }
@@ -509,6 +570,40 @@ mod tests {
         assert!(data
             .hop_breakdown(0x2_0000_0000_0000, Some(pid + 1))
             .is_empty());
+    }
+
+    #[test]
+    fn serve_slo_groups_report_the_tail() {
+        let sink = TraceSink::recording();
+        sink.begin_process("e13-on");
+        let client = sink.track("client0");
+        for i in 0..1000u64 {
+            let begin = SimTime::from_ns((i * 50) as f64);
+            // Two slow requests in a thousand: p99 stays low, p999 sees them.
+            let lat = if i >= 998 { 50_000.0 } else { 400.0 };
+            client.span(
+                "serve",
+                "req-t003",
+                begin,
+                begin + SimTime::from_ns(lat),
+                TraceCtx::new(i + 1),
+            );
+        }
+        let data = TraceData::from_json(&sink.to_chrome_json()).expect("round trip");
+        let groups = data.serve_slo_groups();
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(
+            (g.process.as_str(), g.tenant.as_str()),
+            ("e13-on", "req-t003")
+        );
+        assert_eq!(g.count, 1000);
+        assert!((g.p50_ns - 400.0).abs() < 1.0, "p50 {}", g.p50_ns);
+        assert!(g.p99_ns < 500.0, "p99 {}", g.p99_ns);
+        assert!(g.p999_ns > 10_000.0, "p999 {}", g.p999_ns);
+        let text = data.render_report();
+        assert!(text.contains("serving SLO by tenant"));
+        assert!(text.contains("req-t003"));
     }
 
     #[test]

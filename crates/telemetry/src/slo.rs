@@ -1,0 +1,215 @@
+//! Per-tenant SLO accounting for serving-tier experiments (E13).
+//!
+//! An [`SloAccountant`] keeps one exact log-bucketed latency
+//! [`Histogram`] per tenant plus an *exact* count of requests that met
+//! the SLO target. The split matters for determinism and fidelity:
+//!
+//! * **Attainment is exact.** Every latency is compared against the
+//!   target *before* it is bucketed, so `attainment()` is a precise
+//!   ratio, not a read-out of a quantized distribution.
+//! * **Quantiles are replay-stable.** The histogram is the `fcc-sim`
+//!   log-linear design — integer counts in fixed buckets, no sampling,
+//!   no reservoir, no randomized sketch. Merging per-shard accountants
+//!   in a fixed (domain) order is integer addition, so p50/p99/p999 are
+//!   byte-identical across `--jobs`/`--shards` decompositions; the only
+//!   error is the fixed ≤1.6% bucket resolution, identical on every
+//!   run.
+
+use std::collections::BTreeMap;
+
+use fcc_sim::{Histogram, SimTime, Summary};
+
+use crate::metrics::tenant_metric;
+use crate::MetricsRegistry;
+
+/// Per-tenant latency bookkeeping for one SLO target.
+#[derive(Debug, Clone)]
+pub struct SloAccountant {
+    target_ps: u64,
+    tenants: BTreeMap<u32, TenantSlo>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TenantSlo {
+    hist: Histogram,
+    within: u64,
+}
+
+impl SloAccountant {
+    /// Creates an accountant holding every tenant to `target`.
+    pub fn new(target: SimTime) -> Self {
+        SloAccountant {
+            target_ps: target.as_ps(),
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// The SLO target.
+    pub fn target(&self) -> SimTime {
+        SimTime::from_ps(self.target_ps)
+    }
+
+    /// Records one request latency for `tenant`.
+    pub fn record(&mut self, tenant: u32, latency: SimTime) {
+        let slot = self.tenants.entry(tenant).or_default();
+        // Exact comparison first; bucketing below only affects quantiles.
+        if latency.as_ps() <= self.target_ps {
+            slot.within += 1;
+        }
+        slot.hist.record_time(latency);
+    }
+
+    /// Fraction of `tenant`'s requests that met the target (1.0 when the
+    /// tenant recorded nothing — an idle tenant has not missed its SLO).
+    pub fn attainment(&self, tenant: u32) -> f64 {
+        match self.tenants.get(&tenant) {
+            Some(t) if t.hist.count() > 0 => t.within as f64 / t.hist.count() as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Total requests recorded for `tenant`.
+    pub fn count(&self, tenant: u32) -> u64 {
+        self.tenants.get(&tenant).map_or(0, |t| t.hist.count())
+    }
+
+    /// The latency digest for `tenant`, if it recorded anything.
+    pub fn summary(&self, tenant: u32) -> Option<Summary> {
+        self.tenants
+            .get(&tenant)
+            .filter(|t| t.hist.count() > 0)
+            .map(|t| t.hist.summary())
+    }
+
+    /// Tenant ids seen, ascending.
+    pub fn tenants(&self) -> impl Iterator<Item = u32> + '_ {
+        self.tenants.keys().copied()
+    }
+
+    /// Folds another accountant in (per-tenant histogram merge + exact
+    /// within-count addition). Deterministic: merge shards in a fixed
+    /// order and the result is independent of the decomposition.
+    pub fn merge(&mut self, other: &SloAccountant) {
+        debug_assert_eq!(self.target_ps, other.target_ps, "mismatched SLO targets");
+        for (&tenant, slot) in &other.tenants {
+            let mine = self.tenants.entry(tenant).or_default();
+            mine.hist.merge(&slot.hist);
+            mine.within += slot.within;
+        }
+    }
+
+    /// All tenants' latencies merged into one distribution.
+    pub fn merged(&self) -> Histogram {
+        let mut all = Histogram::new();
+        for slot in self.tenants.values() {
+            all.merge(&slot.hist);
+        }
+        all
+    }
+
+    /// Exact attainment across every tenant (1.0 when empty).
+    pub fn overall_attainment(&self) -> f64 {
+        let (mut within, mut total) = (0u64, 0u64);
+        for slot in self.tenants.values() {
+            within += slot.within;
+            total += slot.hist.count();
+        }
+        if total == 0 {
+            1.0
+        } else {
+            within as f64 / total as f64
+        }
+    }
+
+    /// Exports per-tenant series into `reg` under
+    /// `{prefix}tenant{NNN}.{latency_ps,slo_within,slo_total}`.
+    pub fn export(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        for (&tenant, slot) in &self.tenants {
+            reg.record_histogram(&tenant_metric(prefix, tenant, "latency_ps"), &slot.hist);
+            reg.add_counter(&tenant_metric(prefix, tenant, "slo_within"), slot.within);
+            reg.add_counter(
+                &tenant_metric(prefix, tenant, "slo_total"),
+                slot.hist.count(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: f64) -> SimTime {
+        SimTime::from_ns(v)
+    }
+
+    #[test]
+    fn attainment_is_exact_not_bucketed() {
+        let mut a = SloAccountant::new(ns(1000.0));
+        // 1000ns and 1001ns land in the same log bucket, but attainment
+        // still tells them apart because the comparison precedes bucketing.
+        a.record(3, ns(1000.0));
+        a.record(3, ns(1001.0));
+        assert!((a.attainment(3) - 0.5).abs() < 1e-12);
+        assert_eq!(a.count(3), 2);
+    }
+
+    #[test]
+    fn idle_tenant_attains_trivially() {
+        let a = SloAccountant::new(ns(500.0));
+        assert!((a.attainment(9) - 1.0).abs() < 1e-12);
+        assert!(a.summary(9).is_none());
+    }
+
+    #[test]
+    fn merge_matches_single_accountant() {
+        let mut whole = SloAccountant::new(ns(800.0));
+        let mut left = SloAccountant::new(ns(800.0));
+        let mut right = SloAccountant::new(ns(800.0));
+        for i in 0..100u64 {
+            let lat = ns(100.0 + 17.0 * i as f64);
+            let tenant = (i % 4) as u32;
+            whole.record(tenant, lat);
+            if i % 2 == 0 {
+                left.record(tenant, lat);
+            } else {
+                right.record(tenant, lat);
+            }
+        }
+        left.merge(&right);
+        for t in 0..4 {
+            assert_eq!(left.count(t), whole.count(t));
+            assert!((left.attainment(t) - whole.attainment(t)).abs() < 1e-12);
+            assert_eq!(
+                left.summary(t).map(|s| s.p99),
+                whole.summary(t).map(|s| s.p99)
+            );
+        }
+        assert_eq!(left.merged().summary().p999, whole.merged().summary().p999);
+    }
+
+    #[test]
+    fn export_writes_per_tenant_series() {
+        let mut a = SloAccountant::new(ns(1000.0));
+        a.record(7, ns(200.0));
+        a.record(7, ns(2000.0));
+        let mut reg = MetricsRegistry::new();
+        a.export("e13.", &mut reg);
+        assert_eq!(reg.counter("e13.tenant007.slo_within"), Some(1));
+        assert_eq!(reg.counter("e13.tenant007.slo_total"), Some(2));
+        assert_eq!(
+            reg.histogram_summary("e13.tenant007.latency_ps")
+                .map(|s| s.count),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn overall_attainment_pools_tenants() {
+        let mut a = SloAccountant::new(ns(1000.0));
+        a.record(0, ns(100.0));
+        a.record(1, ns(5000.0));
+        a.record(1, ns(100.0));
+        assert!((a.overall_attainment() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -34,6 +34,99 @@ impl PoissonArrivals {
         self.next_at = at + SimTime::from_ns(gap);
         at
     }
+
+    /// The instant the next call to [`next`](Self::next) will return.
+    pub fn next_at(&self) -> SimTime {
+        self.next_at
+    }
+
+    /// Changes the arrival rate; takes effect from the next drawn gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn set_rate(&mut self, rate_per_us: f64) {
+        assert!(rate_per_us > 0.0, "rate must be positive");
+        self.mean_gap_ns = 1000.0 / rate_per_us;
+    }
+}
+
+/// Poisson arrivals whose rate follows a piecewise-linear curve over
+/// sim-time — a deterministic "diurnal" load shape for open-loop
+/// serving clients (E13).
+///
+/// The curve is a sorted list of `(instant, rate_per_us)` control
+/// points; between points the rate is linearly interpolated, and beyond
+/// either end it is clamped to the nearest point's rate. Each drawn gap
+/// uses the rate at the *current* arrival instant, so the process is a
+/// standard non-homogeneous Poisson approximation that stays exactly
+/// reproducible from the seed: the number of `next` calls alone decides
+/// how much entropy is consumed.
+#[derive(Debug, Clone)]
+pub struct DiurnalModulator {
+    poisson: PoissonArrivals,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl DiurnalModulator {
+    /// Creates a modulated process from `points` on the rate curve,
+    /// starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, not sorted by instant, or contains
+    /// a non-positive rate.
+    pub fn new(points: Vec<(SimTime, f64)>, start: SimTime) -> Self {
+        assert!(!points.is_empty(), "need at least one control point");
+        for pair in points.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "control points must be sorted");
+        }
+        for &(_, rate) in &points {
+            assert!(rate > 0.0, "rates must be positive");
+        }
+        let initial = Self::interpolate(&points, start);
+        DiurnalModulator {
+            poisson: PoissonArrivals::new(initial, start),
+            points,
+        }
+    }
+
+    fn interpolate(points: &[(SimTime, f64)], at: SimTime) -> f64 {
+        let first = points[0];
+        if at <= first.0 {
+            return first.1;
+        }
+        let last = points[points.len() - 1];
+        if at >= last.0 {
+            return last.1;
+        }
+        for pair in points.windows(2) {
+            let (t0, r0) = pair[0];
+            let (t1, r1) = pair[1];
+            if at <= t1 {
+                let span = (t1 - t0).as_ns();
+                if span <= 0.0 {
+                    return r1;
+                }
+                let frac = (at - t0).as_ns() / span;
+                return r0 + (r1 - r0) * frac;
+            }
+        }
+        last.1
+    }
+
+    /// The interpolated rate (arrivals per microsecond) at `at`.
+    pub fn rate_at(&self, at: SimTime) -> f64 {
+        Self::interpolate(&self.points, at)
+    }
+
+    /// Returns the next arrival instant, drawing the gap at the rate
+    /// the curve prescribes for that instant.
+    pub fn next(&mut self, rng: &mut impl Rng) -> SimTime {
+        let rate = Self::interpolate(&self.points, self.poisson.next_at());
+        self.poisson.set_rate(rate);
+        self.poisson.next(rng)
+    }
 }
 
 /// Fixed-period arrivals.
@@ -94,6 +187,78 @@ mod tests {
             assert!(t >= last);
             last = t;
         }
+    }
+
+    #[test]
+    fn diurnal_interpolates_and_clamps() {
+        let d = DiurnalModulator::new(
+            vec![
+                (SimTime::from_us(10.0), 2.0),
+                (SimTime::from_us(20.0), 10.0),
+                (SimTime::from_us(30.0), 4.0),
+            ],
+            SimTime::ZERO,
+        );
+        // Clamped before the first and after the last control point.
+        assert!((d.rate_at(SimTime::ZERO) - 2.0).abs() < 1e-12);
+        assert!((d.rate_at(SimTime::from_us(50.0)) - 4.0).abs() < 1e-12);
+        // Exact at control points, linear in between.
+        assert!((d.rate_at(SimTime::from_us(20.0)) - 10.0).abs() < 1e-12);
+        assert!((d.rate_at(SimTime::from_us(15.0)) - 6.0).abs() < 1e-9);
+        assert!((d.rate_at(SimTime::from_us(25.0)) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_peak_is_denser_than_trough() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut d = DiurnalModulator::new(
+            vec![
+                (SimTime::ZERO, 1.0),
+                (SimTime::from_us(100.0), 1.0),
+                (SimTime::from_us(120.0), 20.0),
+                (SimTime::from_us(220.0), 20.0),
+            ],
+            SimTime::ZERO,
+        );
+        let mut trough = 0u32;
+        let mut peak = 0u32;
+        loop {
+            let t = d.next(&mut rng);
+            if t >= SimTime::from_us(220.0) {
+                break;
+            }
+            if t < SimTime::from_us(100.0) {
+                trough += 1;
+            } else if t >= SimTime::from_us(120.0) {
+                peak += 1;
+            }
+        }
+        // Same window length, 20x rate: expect ~100 vs ~2000 arrivals.
+        assert!(trough > 50 && trough < 200, "trough {trough}");
+        assert!(
+            peak > u32::max(1000, trough * 5),
+            "peak {peak} trough {trough}"
+        );
+    }
+
+    #[test]
+    fn diurnal_is_monotone_and_deterministic() {
+        let points = vec![(SimTime::ZERO, 3.0), (SimTime::from_us(40.0), 9.0)];
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = DiurnalModulator::new(points.clone(), SimTime::from_ns(5.0));
+            let mut out = Vec::new();
+            let mut last = SimTime::ZERO;
+            for _ in 0..500 {
+                let t = d.next(&mut rng);
+                assert!(t >= last);
+                last = t;
+                out.push(t);
+            }
+            out
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
     }
 
     #[test]

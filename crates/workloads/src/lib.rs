@@ -4,7 +4,8 @@
 //!
 //! * [`access`] — address-stream generators: uniform, sequential, Zipf
 //!   (skewed object popularity), and random-cycle pointer chases.
-//! * [`arrival`] — open-loop arrival processes (Poisson and periodic).
+//! * [`arrival`] — open-loop arrival processes (Poisson, periodic, and
+//!   diurnally modulated Poisson for serving workloads).
 //! * [`churn`] — fabric composition churn schedules (hot-add/remove) for
 //!   the elasticity experiment (E11).
 //! * [`failure`] — power-domain failure schedules for the passive failure
@@ -16,6 +17,6 @@ pub mod churn;
 pub mod failure;
 
 pub use access::{PointerChase, SequentialStream, UniformStream, ZipfStream};
-pub use arrival::{PeriodicArrivals, PoissonArrivals};
+pub use arrival::{DiurnalModulator, PeriodicArrivals, PoissonArrivals};
 pub use churn::{ChurnEvent, ChurnOp, ChurnSchedule};
 pub use failure::{FailureEvent, FailureSchedule};

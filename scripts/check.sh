@@ -57,4 +57,11 @@ cargo run --release -p fcc-bench --bin experiments -- --quick e12 \
 grep -q '"ledger_violations": 0' "$artifacts/e12-results.json"
 grep -q '"isolation_bounded": 1' "$artifacts/e12-results.json"
 
+echo "==> serving smoke (E13: per-tenant SLO bounded at peak, nothing lost, ledgers clean)"
+cargo run --release -p fcc-bench --bin experiments -- --quick e13 \
+    --json "$artifacts/e13-results.json"
+grep -q '"lost_objects": 0' "$artifacts/e13-results.json"
+grep -q '"ledger_violations": 0' "$artifacts/e13-results.json"
+grep -q '"slo_bounded": 1' "$artifacts/e13-results.json"
+
 echo "all checks passed"
