@@ -592,6 +592,7 @@ pub fn run_d_captured_seeded(quick: bool, cap: &mut Capture, seed: u64) -> E3dRe
         let label = match queueing {
             QueueDiscipline::Fifo => "e3d-fifo",
             QueueDiscipline::Voq => "e3d-voq",
+            QueueDiscipline::Wormhole => "e3d-wormhole",
         };
         cap.begin_scenario(label, &mut engine, &engine_topo);
         // Shrink the slow FEA's admission queue so backpressure forms fast.

@@ -19,8 +19,8 @@ use fcc_telemetry::{MetricsRegistry, TraceDump};
 use crate::capture::Capture;
 use crate::runner::par_map;
 use crate::{
-    exp_abl, exp_e10, exp_e11, exp_e12, exp_e13, exp_e3, exp_e3x, exp_e4, exp_e5, exp_e6, exp_e7,
-    exp_e8, exp_e9, exp_f1, exp_nodes, exp_t1, exp_t2,
+    exp_abl, exp_e10, exp_e11, exp_e12, exp_e13, exp_e14, exp_e3, exp_e3x, exp_e4, exp_e5, exp_e6,
+    exp_e7, exp_e8, exp_e9, exp_f1, exp_nodes, exp_t1, exp_t2,
 };
 
 /// Experiment registry: `(id, traced, cost, description)`.
@@ -28,7 +28,7 @@ use crate::{
 /// `cost` is a relative full-run duration estimate (roughly milliseconds
 /// on the reference machine) used only for longest-job-first scheduling
 /// in the parallel driver; it needs ordering fidelity, not accuracy.
-pub const ALL: [(&str, bool, u64, &str); 23] = [
+pub const ALL: [(&str, bool, u64, &str); 24] = [
     ("t1", false, 2, "Table 1: commodity memory fabrics registry"),
     (
         "t2",
@@ -89,6 +89,12 @@ pub const ALL: [(&str, bool, u64, &str); 23] = [
         true,
         1400,
         "far-memory serving tier: per-tenant SLO under diurnal load",
+    ),
+    (
+        "e14",
+        true,
+        700,
+        "wormhole VC pod: 256-host spine-leaf drains deadlock-free",
     ),
     (
         "e4",
@@ -346,6 +352,24 @@ pub fn run_one(
             s.push(kv("lost_objects", r.lost_objects as f64));
             s.push(kv("ledger_violations", r.ledger_violations as f64));
             s.push(kv("slo_bounded", f64::from(u8::from(r.slo_bounded()))));
+            s.push(kv("total_events", r.total_events as f64));
+        }
+        "e14" => {
+            let r = exp_e14::run_e14_captured_seeded(quick, cap, seed, shards);
+            put(&mut text, &r);
+            s.push(kv("hosts", r.hosts as f64));
+            s.push(kv("switches", r.switches as f64));
+            s.push(kv("completed", r.completed as f64));
+            s.push(kv("expected", r.expected as f64));
+            s.push(kv("makespan_us", r.makespan_us));
+            s.push(kv("ops_us", r.ops_us()));
+            s.push(kv("deadlock_events", r.deadlock_events as f64));
+            s.push(kv("credit_violations", r.credit_violations as f64));
+            s.push(kv("audit_findings", r.audit_findings as f64));
+            s.push(kv(
+                "quiesced_clean",
+                f64::from(u8::from(r.quiesced_clean())),
+            ));
             s.push(kv("total_events", r.total_events as f64));
         }
         "e4" => {

@@ -20,6 +20,7 @@ pub mod exp_e10;
 pub mod exp_e11;
 pub mod exp_e12;
 pub mod exp_e13;
+pub mod exp_e14;
 pub mod exp_e3;
 pub mod exp_e3x;
 pub mod exp_e4;

@@ -13,11 +13,12 @@
 use fcc_bench::capture::Capture;
 use fcc_bench::harness::{results_json, run_ids, ScenarioOutput};
 
-/// The sharded scenarios (`e3x`, the scheduler-governed `e12`, and the
-/// serving-tier `e13`) plus single-engine scenarios from three layers
-/// (fabric interference, placement policy, elastic composition).
+/// The sharded scenarios (`e3x`, the scheduler-governed `e12`, the
+/// serving-tier `e13`, and the wormhole pod `e14`) plus single-engine
+/// scenarios from three layers (fabric interference, placement policy,
+/// elastic composition).
 fn ids() -> Vec<String> {
-    ["e3x", "e12", "e13", "e3e", "e5", "e11"]
+    ["e3x", "e12", "e13", "e14", "e3e", "e5", "e11"]
         .iter()
         .map(ToString::to_string)
         .collect()

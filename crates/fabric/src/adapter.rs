@@ -463,8 +463,10 @@ impl Component for Fha {
         let msg = match msg.downcast::<FlitMsg>() {
             Ok(fm) => {
                 match self.port.receive(ctx, fm) {
-                    PortEvent::Delivered(payload) => self.on_payload(ctx, payload),
-                    PortEvent::CreditFreed | PortEvent::Quiet => {}
+                    PortEvent::Delivered(payload, _) => self.on_payload(ctx, payload),
+                    PortEvent::CreditFreed
+                    | PortEvent::VcCreditReturned { .. }
+                    | PortEvent::Quiet => {}
                 }
                 return;
             }
@@ -767,8 +769,10 @@ impl Component for Fea {
         let msg = match msg.downcast::<FlitMsg>() {
             Ok(fm) => {
                 match self.port.receive(ctx, fm) {
-                    PortEvent::Delivered(payload) => self.on_payload(ctx, payload),
-                    PortEvent::CreditFreed | PortEvent::Quiet => {}
+                    PortEvent::Delivered(payload, _) => self.on_payload(ctx, payload),
+                    PortEvent::CreditFreed
+                    | PortEvent::VcCreditReturned { .. }
+                    | PortEvent::Quiet => {}
                 }
                 return;
             }

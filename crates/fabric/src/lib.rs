@@ -28,6 +28,10 @@
 //!   (design principle #4).
 //! * [`commfabric`] — the communication-fabric baseline: an RDMA-style
 //!   NIC with submission/completion queues, doorbells and DMA engines.
+//! * [`wormhole`] — per-(port, VC) credit ledgers for wormhole switching
+//!   with an adaptive/escape virtual-channel split.
+//! * [`pods`] — pod-scale topology generators (spine-leaf, 2D mesh,
+//!   torus) that emit shardable domain plans for rack-size fabrics.
 
 pub mod adapter;
 pub mod arbiter;
@@ -36,11 +40,13 @@ pub mod credit;
 pub mod endpoint;
 pub mod ledger;
 pub mod manager;
+pub mod pods;
 pub mod port;
 pub mod routing;
 pub mod sharded;
 pub mod switch;
 pub mod topology;
+pub mod wormhole;
 
 pub use adapter::{Fea, Fha, HostCompletion, HostOp, HostRequest, SnoopMsg, SnoopReply};
 pub use arbiter::{ArbiterOp, ArbiterRequest, ArbiterResponse, ArbiterResult, FabricArbiter};
@@ -49,7 +55,9 @@ pub use credit::AllocPolicy;
 pub use endpoint::{Endpoint, EndpointResponse, FixedLatencyMemory};
 pub use ledger::{audit_topology, AuditFinding, AuditReport};
 pub use manager::FabricManager;
+pub use pods::{PodKind, PodPlan, PodSpec};
 pub use port::{FlitMsg, LinkPort, PortEvent};
 pub use routing::{DomainId, RoutingTable};
 pub use switch::{FabricSwitch, FlowId, QueueDiscipline, SwitchConfig};
 pub use topology::{Topology, TopologySpec};
+pub use wormhole::{VcConfig, VcLink};

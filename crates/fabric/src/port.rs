@@ -24,17 +24,33 @@ use fcc_telemetry::Track;
 pub struct FlitMsg {
     /// The flit on the wire.
     pub flit: Flit,
+    /// Virtual channel the flit occupies on a wormhole switch-to-switch
+    /// link (`None` on legacy links and endpoint-facing ports). Carried
+    /// out of band of the flit encoding: the VC tag is hop-local switch
+    /// state, re-chosen at every hop, so it never enters the CRC.
+    pub vc: Option<u8>,
 }
 
 /// What a received flit meant for the owner of the port.
 #[derive(Debug, PartialEq)]
 pub enum PortEvent {
     /// A transaction-layer payload was delivered into the receive buffer.
-    /// The owner must call [`LinkPort::release`] once it drains.
-    Delivered(FlitPayload),
+    /// The owner must call [`LinkPort::release`] once it drains. The VC
+    /// tag (if any) names the lane whose downstream buffer the flit now
+    /// occupies; the owner must return it upstream with
+    /// [`LinkPort::return_vc_credit`] when the flit departs.
+    Delivered(FlitPayload, Option<u8>),
     /// Link-layer control was processed and transmit credits may have been
     /// freed; the owner should re-run any blocked scheduling decisions.
     CreditFreed,
+    /// The peer returned per-virtual-channel credits for lane `vc`; the
+    /// owner should refund its VC ledger and re-run scheduling.
+    VcCreditReturned {
+        /// Lane being replenished.
+        vc: u8,
+        /// Flit credits granted.
+        credits: u32,
+    },
     /// Nothing actionable (duplicate, ack bookkeeping, retransmission).
     Quiet,
 }
@@ -145,13 +161,32 @@ impl LinkPort {
     ///
     /// Panics if the link layer refuses the payload.
     pub fn send_now(&mut self, ctx: &mut Ctx<'_>, payload: FlitPayload) {
+        self.send_now_vc(ctx, payload, None);
+    }
+
+    /// Sends a payload immediately on virtual channel `vc` (wormhole
+    /// switch dispatch). Same contract as [`LinkPort::send_now`]; the VC
+    /// tag rides the wire message so the peer knows which lane's buffer
+    /// the flit occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link layer refuses the payload.
+    pub fn send_now_vc(&mut self, ctx: &mut Ctx<'_>, payload: FlitPayload, vc: Option<u8>) {
         // Documented-panic API: the caller contract is can_send_now first.
         #[allow(clippy::expect_used)]
         let flit = self
             .link
             .send(payload)
             .expect("caller must check can_send_now");
-        self.transmit(ctx, flit);
+        self.transmit(ctx, flit, vc);
+    }
+
+    /// Returns `credits` flit credits for virtual channel `vc` to the
+    /// peer (uncredited control; the wormhole switch calls this when a
+    /// VC-tagged flit departs its ingress buffer).
+    pub fn return_vc_credit(&mut self, ctx: &mut Ctx<'_>, vc: u8, credits: u32) {
+        self.transmit_control(ctx, FlitPayload::VcCredit { vc, credits });
     }
 
     /// Moves queued payloads onto the wire while credits allow.
@@ -173,11 +208,11 @@ impl LinkPort {
             );
             #[allow(clippy::expect_used)]
             let flit = self.link.send(payload).expect("can_send checked");
-            self.transmit(ctx, flit);
+            self.transmit(ctx, flit, None);
         }
     }
 
-    fn transmit(&mut self, ctx: &mut Ctx<'_>, mut flit: Flit) {
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, mut flit: Flit, vc: Option<u8>) {
         // Error injection applies to sequenced payload flits only: real
         // link layers recover lost control DLLPs with replay timers, which
         // this model omits; corrupting an un-timed NAK would wedge the
@@ -201,7 +236,7 @@ impl LinkPort {
             self.trace
                 .span_merged("link", "link.serialize", depart, self.wire_free_at, tctx);
         }
-        ctx.send(self.peer(), arrive - ctx.now(), FlitMsg { flit });
+        ctx.send(self.peer(), arrive - ctx.now(), FlitMsg { flit, vc });
     }
 
     /// Sends a control payload (uncredited) onto the wire.
@@ -210,7 +245,7 @@ impl LinkPort {
         // link layer can never refuse them.
         #[allow(clippy::expect_used)]
         let flit = self.link.send(payload).expect("control is uncredited");
-        self.transmit(ctx, flit);
+        self.transmit(ctx, flit, None);
     }
 
     /// Processes an arriving flit and returns what it meant.
@@ -218,18 +253,24 @@ impl LinkPort {
         self.rx_flits.inc();
         // NAKs demand retransmission, which needs the flits back from the
         // retry buffer — handle them here rather than in the link layer.
+        // VC credit returns are likewise owner-level state (the switch's
+        // per-lane ledgers), not link-layer state.
         if msg.flit.crc_ok() {
             if let FlitPayload::Nak { from_seq } = msg.flit.payload {
                 self.retransmit_from(ctx, from_seq);
                 return PortEvent::Quiet;
             }
+            if let FlitPayload::VcCredit { vc, credits } = msg.flit.payload {
+                return PortEvent::VcCreditReturned { vc, credits };
+            }
         }
+        let vc = msg.vc;
         match self.link.receive(msg.flit) {
             RxAction::Deliver(payload) => {
                 if let Some(ack) = self.link.take_ack() {
                     self.transmit_control(ctx, ack);
                 }
-                PortEvent::Delivered(payload)
+                PortEvent::Delivered(payload, vc)
             }
             RxAction::Control => {
                 // A NAK requires us to retransmit; a credit update may have
@@ -254,7 +295,9 @@ impl LinkPort {
         for f in flits {
             self.trace
                 .instant("link", "link.retransmit", ctx.now(), f.payload.trace_ctx());
-            self.transmit(ctx, f);
+            // Retransmissions lose the hop-local VC tag; VC-flow-controlled
+            // links run error-free (see `FabricSwitch::set_vc_link`).
+            self.transmit(ctx, f, None);
         }
     }
 
@@ -311,14 +354,14 @@ mod tests {
     impl Node {
         fn handle_flit(&mut self, ctx: &mut Ctx<'_>, fm: FlitMsg) {
             match self.port.receive(ctx, fm) {
-                PortEvent::Delivered(payload) => {
+                PortEvent::Delivered(payload, _) => {
                     let class = payload.msg_class();
                     self.delivered.push(payload);
                     if self.release_on_delivery {
                         self.port.release(ctx, class);
                     }
                 }
-                PortEvent::CreditFreed | PortEvent::Quiet => {}
+                PortEvent::CreditFreed | PortEvent::VcCreditReturned { .. } | PortEvent::Quiet => {}
             }
         }
 

@@ -37,6 +37,7 @@ use fcc_telemetry::Track;
 use crate::credit::{AllocPolicy, RampUpState};
 use crate::port::{FlitMsg, LinkPort, PortEvent};
 use crate::routing::RoutingTable;
+use crate::wormhole::{VcConfig, VcLink};
 
 /// Identifies a flow (source endpoint, destination endpoint) for the
 /// arbiter's reservations and the switch's rate enforcement.
@@ -55,6 +56,14 @@ pub enum QueueDiscipline {
     Fifo,
     /// Virtual output queues per (input, output).
     Voq,
+    /// Wormhole switching with per-virtual-channel flow control: ingress
+    /// queues per (input, VC), flit-granular lane allocation that holds a
+    /// VC for a whole transfer (header + data slots), per-(port, VC)
+    /// credit ledgers on egress links configured via
+    /// [`FabricSwitch::set_vc_link`], and escape-VC routing (lane 0 is
+    /// restricted to each destination's primary deterministic route). See
+    /// [`crate::wormhole`].
+    Wormhole,
 }
 
 /// Static switch configuration.
@@ -177,6 +186,21 @@ struct Entry {
     ready_at: SimTime,
     flow: FlowId,
     enqueued_at: SimTime,
+    /// Ingress lane the flit arrived on (VC-flow-controlled links only);
+    /// its credit is returned upstream when the flit departs.
+    in_vc: Option<u8>,
+}
+
+/// An in-transit multi-flit transfer (header + data slots) holding — or
+/// about to hold — one egress virtual channel from head to tail.
+#[derive(Debug)]
+struct Worm {
+    /// Egress port fixed at head admission; body flits follow the head.
+    out: usize,
+    /// Lane allocated at head dispatch (`None` until the head moves).
+    lane: Option<u8>,
+    /// Flits of this transfer not yet dispatched (including the header).
+    remaining: u64,
 }
 
 /// A fabric switch component.
@@ -190,6 +214,14 @@ pub struct FabricSwitch {
     fifo: Vec<VecDeque<Entry>>,
     /// VOQ discipline: queues[input][output].
     voq: Vec<Vec<VecDeque<Entry>>>,
+    /// Wormhole discipline: queues[input][ingress lane]. Ports without VC
+    /// flow control (endpoint-facing) keep a single lane-0 queue.
+    vcq: Vec<Vec<VecDeque<Entry>>>,
+    /// Per-egress-port VC credit ledgers (only on links configured via
+    /// [`FabricSwitch::set_vc_link`]).
+    vc_links: Vec<Option<VcLink>>,
+    /// In-transit transfers, keyed by transaction id.
+    worms: BTreeMap<u64, Worm>,
     rr_input: usize,
     ramp: Vec<Option<RampUpState>>,
     flows: BTreeMap<FlowId, TokenBucket>,
@@ -221,6 +253,9 @@ impl FabricSwitch {
             routing: RoutingTable::new(crate::routing::DomainId(0)),
             fifo: Vec::new(),
             voq: Vec::new(),
+            vcq: Vec::new(),
+            vc_links: Vec::new(),
+            worms: BTreeMap::new(),
             rr_input: 0,
             ramp: Vec::new(),
             flows: BTreeMap::new(),
@@ -257,7 +292,36 @@ impl FabricSwitch {
             }
         }
         self.ramp.push(None);
+        self.vcq.push(vec![VecDeque::new()]);
+        self.vc_links.push(None);
         idx
+    }
+
+    /// Enables per-virtual-channel flow control on `port` (a wormhole
+    /// switch-to-switch link). Both ends of the link must be configured
+    /// with the same `cfg`: the egress ledger created here mirrors the
+    /// peer's per-lane ingress buffers. VC links must run error-free
+    /// (`error_rate` 0) — retransmitted flits lose their hop-local lane
+    /// tag — and their link-layer credit pools should be at least
+    /// `vcs * buf_flits` per class so the per-lane ledgers, not the
+    /// shared class pool, are the binding flow-control constraint (the
+    /// escape-VC deadlock argument needs lane isolation).
+    pub fn set_vc_link(&mut self, port: usize, cfg: VcConfig) {
+        self.vc_links[port] = Some(VcLink::new(cfg));
+        let lanes = usize::from(cfg.vcs.max(2));
+        while self.vcq[port].len() < lanes {
+            self.vcq[port].push(VecDeque::new());
+        }
+    }
+
+    /// The VC credit ledger of an egress port, if configured.
+    pub fn vc_link(&self, port: usize) -> Option<&VcLink> {
+        self.vc_links[port].as_ref()
+    }
+
+    /// Total runtime VC credit-conservation violations across all ports.
+    pub fn vc_violations(&self) -> u64 {
+        self.vc_links.iter().flatten().map(|v| v.violations).sum()
     }
 
     /// Connects a port to its peer component.
@@ -306,6 +370,20 @@ impl FabricSwitch {
             return Err(format!(
                 "port {port}: {inbound} flit(s) from it, {outbound} toward it"
             ));
+        }
+        let lanes: usize = self.vcq[port].iter().map(|q| q.len()).sum();
+        if lanes > 0 {
+            return Err(format!("port {port}: {lanes} flit(s) in ingress lanes"));
+        }
+        let toward: usize = self.worms.values().filter(|w| w.out == port).count();
+        if toward > 0 {
+            return Err(format!(
+                "port {port}: {toward} worm(s) in transit toward it"
+            ));
+        }
+        if let Some(vl) = &self.vc_links[port] {
+            vl.audit()
+                .map_err(|e| format!("port {port} vc ledger: {e}"))?;
         }
         if self.ports[port].pending_len() > 0 {
             return Err(format!(
@@ -369,7 +447,12 @@ impl FabricSwitch {
             .iter()
             .flat_map(|row| row.iter().map(|q| q.len()))
             .sum();
-        fifo + voq
+        let vcq: usize = self
+            .vcq
+            .iter()
+            .flat_map(|row| row.iter().map(|q| q.len()))
+            .sum();
+        fifo + voq + vcq
     }
 
     /// Current ramp-up allocations for an output (empty if unused).
@@ -400,6 +483,19 @@ impl FabricSwitch {
                     report.push(format!("ramp[output {out}]"), e);
                 }
             }
+        }
+        for (p, vl) in self.vc_links.iter().enumerate() {
+            if let Some(vl) = vl {
+                if let Err(e) = vl.audit() {
+                    report.push(format!("vc[port {p}]"), e);
+                }
+            }
+        }
+        if !self.worms.is_empty() {
+            report.push(
+                "worms",
+                format!("{} transfer(s) still holding lanes", self.worms.len()),
+            );
         }
         if let Some(sched) = &self.sched {
             if let Err(e) = sched.audit() {
@@ -449,16 +545,49 @@ impl FabricSwitch {
         }
         candidates.iter().copied().min_by_key(|&p| {
             let queued: usize = self.voq.iter().map(|row| row[p].len()).sum();
+            // Under wormhole queueing the committed load on an egress is
+            // the undelivered remainder of every worm routed toward it.
+            let committed: u64 = self
+                .worms
+                .values()
+                .filter(|w| w.out == p)
+                .map(|w| w.remaining)
+                .sum();
             let pending = self.ports[p].pending_len();
             let backlog = self.ports[p].wire_free_at().saturating_sub(now);
-            (queued + pending, backlog, p)
+            (queued + committed as usize + pending, backlog, p)
         })
     }
 
-    fn admit(&mut self, ctx: &mut Ctx<'_>, in_port: usize, payload: FlitPayload) {
+    /// Flits this transaction's transfer occupies at a switch: the header
+    /// plus its data slots (mirrors the adapters' slot computation).
+    fn expected_flits(&self, in_port: usize, t: &fcc_proto::channel::Transaction) -> u64 {
+        if t.kind.carries_data() && t.bytes > 0 {
+            let mode = self.ports[in_port].phys.flit_mode;
+            1 + fcc_proto::flit::flits_for_transfer(mode, t.bytes as u64)
+        } else {
+            1
+        }
+    }
+
+    /// Returns the ingress lane credit for a departing (or dropped) flit.
+    fn return_in_vc(&mut self, ctx: &mut Ctx<'_>, in_port: usize, in_vc: Option<u8>) {
+        if let Some(v) = in_vc {
+            self.ports[in_port].return_vc_credit(ctx, v, 1);
+        }
+    }
+
+    fn admit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        in_port: usize,
+        payload: FlitPayload,
+        in_vc: Option<u8>,
+    ) {
         let Some(dst) = Self::dst_of(&payload) else {
             // Pure control should have been consumed by the link layer.
             self.ports[in_port].release(ctx, payload.msg_class());
+            self.return_in_vc(ctx, in_port, in_vc);
             return;
         };
         let class = payload.msg_class();
@@ -469,6 +598,7 @@ impl FabricSwitch {
         if self.routing.route(dst).is_none() {
             self.unroutable.inc();
             self.ports[in_port].release(ctx, class);
+            self.return_in_vc(ctx, in_port, in_vc);
             return;
         }
         let entry = Entry {
@@ -477,6 +607,7 @@ impl FabricSwitch {
             ready_at,
             flow,
             enqueued_at: ctx.now(),
+            in_vc,
         };
         match self.cfg.queueing {
             QueueDiscipline::Fifo => self.fifo[in_port].push_back(entry),
@@ -486,9 +617,51 @@ impl FabricSwitch {
                 let Some(out) = self.pick_output(dst, ctx.now()) else {
                     self.unroutable.inc();
                     self.ports[in_port].release(ctx, class);
+                    self.return_in_vc(ctx, in_port, in_vc);
                     return;
                 };
                 self.voq[in_port][out].push_back(entry);
+            }
+            QueueDiscipline::Wormhole => {
+                // A worm's body flits must follow the head's egress; route
+                // only at the header.
+                let forced = match &entry.payload {
+                    FlitPayload::Data { txn_id, .. } => self.worms.get(txn_id).map(|w| w.out),
+                    _ => None,
+                };
+                let Some(out) = forced.or_else(|| self.pick_output(dst, ctx.now())) else {
+                    self.unroutable.inc();
+                    self.ports[in_port].release(ctx, class);
+                    self.return_in_vc(ctx, in_port, in_vc);
+                    return;
+                };
+                match &entry.payload {
+                    FlitPayload::Transaction(t) => {
+                        let remaining = self.expected_flits(in_port, t);
+                        self.worms.insert(
+                            t.id,
+                            Worm {
+                                out,
+                                lane: None,
+                                remaining,
+                            },
+                        );
+                    }
+                    FlitPayload::Data { txn_id, .. } => {
+                        // Normal case: the header's worm exists. An orphan
+                        // data slot (header raced a route change) becomes
+                        // its own single-flit worm.
+                        self.worms.entry(*txn_id).or_insert(Worm {
+                            out,
+                            lane: None,
+                            remaining: 1,
+                        });
+                    }
+                    _ => {}
+                }
+                let lane = usize::from(entry.in_vc.unwrap_or(0));
+                let lane = lane.min(self.vcq[in_port].len().saturating_sub(1));
+                self.vcq[in_port][lane].push_back(entry);
             }
         }
         self.arm_tick(ctx);
@@ -653,6 +826,9 @@ impl FabricSwitch {
         match self.cfg.queueing {
             QueueDiscipline::Fifo => self.try_dispatch_fifo(ctx, i, now, reserved_phase, next_kick),
             QueueDiscipline::Voq => self.try_dispatch_voq(ctx, i, now, reserved_phase, next_kick),
+            QueueDiscipline::Wormhole => {
+                self.try_dispatch_wormhole(ctx, i, now, reserved_phase, next_kick)
+            }
         }
     }
 
@@ -702,7 +878,7 @@ impl FabricSwitch {
         let Some(entry) = self.fifo[i].pop_front() else {
             return false;
         };
-        self.finish_dispatch(ctx, i, out, entry, now);
+        self.finish_dispatch(ctx, i, out, entry, now, None);
         true
     }
 
@@ -745,7 +921,111 @@ impl FabricSwitch {
             let Some(entry) = self.voq[i][out].pop_front() else {
                 continue;
             };
-            self.finish_dispatch(ctx, i, out, entry, now);
+            self.finish_dispatch(ctx, i, out, entry, now, None);
+            return true;
+        }
+        false
+    }
+
+    /// Attempts to dispatch one flit from input `i`'s ingress lanes
+    /// (wormhole discipline). Lanes are independent: a worm stalled on
+    /// lane 2's egress credits never blocks lane 0's escape traffic on
+    /// the same input — the isolation the deadlock argument rests on.
+    fn try_dispatch_wormhole(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        i: usize,
+        now: SimTime,
+        reserved_phase: bool,
+        next_kick: &mut Option<SimTime>,
+    ) -> bool {
+        for l in 0..self.vcq[i].len() {
+            let Some((ready_at, flow, class, id, dst)) = self.vcq[i][l].front().map(|h| {
+                (
+                    h.ready_at,
+                    h.flow,
+                    h.class,
+                    h.payload.trace_id(),
+                    Self::dst_of(&h.payload),
+                )
+            }) else {
+                continue;
+            };
+            if ready_at > now {
+                self.note_kick(next_kick, ready_at);
+                continue;
+            }
+            // Every wormhole-admitted flit has a worm (created at admit);
+            // a missing one means its transfer raced a teardown — drop.
+            let Some(out) = self.worms.get(&id).map(|w| w.out) else {
+                if let Some(entry) = self.vcq[i][l].pop_front() {
+                    self.unroutable.inc();
+                    self.ports[i].release(ctx, entry.class);
+                    self.return_in_vc(ctx, i, entry.in_vc);
+                }
+                return true;
+            };
+            match self.policy_gate(i, out, flow, now, reserved_phase) {
+                Ok(()) => {}
+                Err(Some(at)) => {
+                    self.note_kick(next_kick, at);
+                    continue;
+                }
+                Err(None) => continue,
+            }
+            // Tenant out of partition credits: wait for the SchedTick refill.
+            if !self.sched_admits(flow) {
+                continue;
+            }
+            if !self.ports[out].link.can_send(class) {
+                continue;
+            }
+            // Per-VC egress gate. Escape lane 0 is eligible only when the
+            // egress is the destination's primary (deterministic) route.
+            let escape_ok = dst
+                .and_then(|d| self.routing.route(d))
+                .is_some_and(|c| c.first() == Some(&out));
+            let held = self.worms.get(&id).and_then(|w| w.lane);
+            let out_vc = match self.vc_links[out].as_mut() {
+                Some(vl) => match held {
+                    Some(v) => {
+                        if !vl.can_send(v) {
+                            continue;
+                        }
+                        Some(v)
+                    }
+                    None => match vl.allocate(id, escape_ok) {
+                        Some(v) => Some(v),
+                        None => continue,
+                    },
+                },
+                None => None,
+            };
+            let Some(entry) = self.vcq[i][l].pop_front() else {
+                continue;
+            };
+            if let Some(v) = out_vc {
+                if let Some(vl) = self.vc_links[out].as_mut() {
+                    vl.consume(v, id);
+                }
+            }
+            let done = match self.worms.get_mut(&id) {
+                Some(w) => {
+                    w.lane = out_vc;
+                    w.remaining = w.remaining.saturating_sub(1);
+                    w.remaining == 0
+                }
+                None => true,
+            };
+            if done {
+                self.worms.remove(&id);
+                if let Some(v) = out_vc {
+                    if let Some(vl) = self.vc_links[out].as_mut() {
+                        vl.release(v);
+                    }
+                }
+            }
+            self.finish_dispatch(ctx, i, out, entry, now, out_vc);
             return true;
         }
         false
@@ -758,6 +1038,7 @@ impl FabricSwitch {
         out: usize,
         entry: Entry,
         now: SimTime,
+        out_vc: Option<u8>,
     ) {
         self.record_send(i, out, entry.flow, now);
         self.queue_delay_ps.add((now - entry.enqueued_at).as_ps());
@@ -773,16 +1054,25 @@ impl FabricSwitch {
                 entry.ready_at,
                 ctx_id,
             );
-            let (cat, name) = match self.cfg.allocation {
-                AllocPolicy::Fair => ("credit", "switch.credit_wait"),
-                AllocPolicy::RampUp { .. } | AllocPolicy::Arbitrated => ("arb", "switch.arb_wait"),
+            let (cat, name) = if self.cfg.queueing == QueueDiscipline::Wormhole {
+                // Under wormhole switching, ready-but-undispatched time is
+                // dominated by per-lane credit/allocation waits.
+                ("credit", "switch.vc_wait")
+            } else {
+                match self.cfg.allocation {
+                    AllocPolicy::Fair => ("credit", "switch.credit_wait"),
+                    AllocPolicy::RampUp { .. } | AllocPolicy::Arbitrated => {
+                        ("arb", "switch.arb_wait")
+                    }
+                }
             };
             self.trace
                 .span_nonzero_merged(cat, name, entry.ready_at, now, ctx_id);
         }
         self.forwarded.inc();
-        self.ports[out].send_now(ctx, entry.payload);
+        self.ports[out].send_now_vc(ctx, entry.payload, out_vc);
         self.ports[i].release(ctx, entry.class);
+        self.return_in_vc(ctx, i, entry.in_vc);
     }
 
     #[allow(clippy::trivially_copy_pass_by_ref)]
@@ -795,8 +1085,14 @@ impl FabricSwitch {
 
     fn on_flit(&mut self, ctx: &mut Ctx<'_>, in_port: usize, fm: FlitMsg) {
         match self.ports[in_port].receive(ctx, fm) {
-            PortEvent::Delivered(payload) => self.admit(ctx, in_port, payload),
+            PortEvent::Delivered(payload, in_vc) => self.admit(ctx, in_port, payload, in_vc),
             PortEvent::CreditFreed => self.schedule(ctx),
+            PortEvent::VcCreditReturned { vc, credits } => {
+                if let Some(vl) = self.vc_links[in_port].as_mut() {
+                    vl.refund(vc, credits);
+                }
+                self.schedule(ctx);
+            }
             PortEvent::Quiet => {}
         }
     }
@@ -954,6 +1250,21 @@ impl Component for FabricSwitch {
                     out.push(PendingWork {
                         what: format!("{} flit(s) queued input {i} -> output {o}", q.len()),
                         waiting_on: self.ports[o].peer_opt(),
+                    });
+                }
+            }
+        }
+        for (i, row) in self.vcq.iter().enumerate() {
+            for (l, q) in row.iter().enumerate() {
+                if let Some(head) = q.front() {
+                    // The head's worm names the egress this lane waits on.
+                    let waiting_on = self
+                        .worms
+                        .get(&head.payload.trace_id())
+                        .and_then(|w| self.ports[w.out].peer_opt());
+                    out.push(PendingWork {
+                        what: format!("{} flit(s) queued input {i} lane {l}", q.len()),
+                        waiting_on,
                     });
                 }
             }

@@ -96,6 +96,16 @@ impl Baseline {
         out
     }
 
+    /// Total grandfathered budget for `rule` across all of its keys.
+    pub fn rule_total(&self, rule: RuleId) -> usize {
+        let prefix = format!("{}|", rule.code());
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
     /// Serializes `findings` as fresh baseline JSON (sorted, counted).
     pub fn render(findings: &[Finding]) -> String {
         let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
@@ -121,6 +131,31 @@ impl Baseline {
         out.push_str("}\n");
         out
     }
+}
+
+/// Rules whose grandfathered budget is a one-way ratchet: the baseline
+/// may shrink toward zero but a `--update-baseline` run must never grow
+/// it. New findings under these rules have to be fixed (or suppressed
+/// inline with a reason), not silently laundered into the baseline.
+pub const RATCHET_RULES: [RuleId; 1] = [RuleId::PanicInLib];
+
+/// Enforces the ratchet between the committed baseline and a candidate
+/// replacement. Returns `Err` naming the first rule whose total grew.
+pub fn check_ratchet(old: &Baseline, new: &Baseline) -> Result<(), String> {
+    for rule in RATCHET_RULES {
+        let (was, now) = (old.rule_total(rule), new.rule_total(rule));
+        if now > was {
+            return Err(format!(
+                "{} ({}) budget would grow {was} -> {now}; the baseline is \
+                 regression-only for this rule — fix the new finding(s) or \
+                 suppress inline with `// fcc-lint: allow({}) -- reason`",
+                rule.code(),
+                rule.name(),
+                rule.name(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 // ------------------------------------------------------------- JSON --
@@ -390,6 +425,32 @@ mod tests {
         assert_eq!(res.new.len(), 0);
         assert_eq!(res.stale.len(), 1);
         assert!(res.stale[0].contains("thread_rng"));
+    }
+
+    #[test]
+    fn ratchet_blocks_growth_and_allows_shrink() {
+        let two = vec![
+            f(RuleId::PanicInLib, "a.rs", "panic!(\"a\")"),
+            f(RuleId::PanicInLib, "b.rs", "panic!(\"b\")"),
+        ];
+        let three = {
+            let mut v = two.clone();
+            v.push(f(RuleId::PanicInLib, "c.rs", "panic!(\"c\")"));
+            v
+        };
+        let parse = |fs: &[Finding]| match Baseline::parse(&Baseline::render(fs)) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        };
+        let (old, grown, shrunk) = (parse(&two), parse(&three), parse(&two[..1]));
+        assert_eq!(old.rule_total(RuleId::PanicInLib), 2);
+        assert!(check_ratchet(&old, &grown).is_err(), "2 -> 3 must refuse");
+        assert!(check_ratchet(&old, &shrunk).is_ok(), "2 -> 1 may proceed");
+        assert!(check_ratchet(&old, &old).is_ok(), "2 -> 2 may proceed");
+        // Non-ratchet rules are free to grow.
+        let mut with_entropy = two.clone();
+        with_entropy.push(f(RuleId::EntropyRng, "d.rs", "thread_rng()"));
+        assert!(check_ratchet(&old, &parse(&with_entropy)).is_ok());
     }
 
     #[test]

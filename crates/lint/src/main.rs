@@ -4,7 +4,9 @@
 //! fcc-lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline] [--list-rules]
 //! ```
 //!
-//! Exit codes: 0 clean (or baseline updated), 1 unbaselined findings,
+//! Exit codes: 0 clean (or baseline updated), 1 unbaselined findings or
+//! a refused `--update-baseline` (a regression-only rule's grandfathered
+//! budget would grow — see [`fcc_lint::baseline::RATCHET_RULES`]),
 //! 2 usage/environment error.
 
 #![forbid(unsafe_code)]
@@ -104,7 +106,19 @@ fn run() -> Result<bool, String> {
     }
 
     if opts.update_baseline {
-        std::fs::write(&baseline_path, Baseline::render(&findings))
+        // Ratchet: regression-only rules may never grow their budget.
+        let old = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+            Err(e) => return Err(format!("read {}: {e}", baseline_path.display())),
+        };
+        let rendered = Baseline::render(&findings);
+        let new = Baseline::parse(&rendered)?;
+        if let Err(why) = fcc_lint::baseline::check_ratchet(&old, &new) {
+            println!("fcc-lint: REFUSED baseline update: {why}");
+            return Ok(false);
+        }
+        std::fs::write(&baseline_path, rendered)
             .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
         println!(
             "fcc-lint: baseline updated: {} finding(s) -> {}",

@@ -294,8 +294,10 @@ impl Component for DirectoryNode {
         let msg = match msg.downcast::<FlitMsg>() {
             Ok(fm) => {
                 match self.port.receive(ctx, fm) {
-                    PortEvent::Delivered(payload) => self.on_payload(ctx, payload),
-                    PortEvent::CreditFreed | PortEvent::Quiet => {}
+                    PortEvent::Delivered(payload, _) => self.on_payload(ctx, payload),
+                    PortEvent::CreditFreed
+                    | PortEvent::VcCreditReturned { .. }
+                    | PortEvent::Quiet => {}
                 }
                 return;
             }

@@ -72,6 +72,17 @@ pub enum FlitPayload {
         /// First sequence number to retransmit.
         from_seq: u64,
     },
+    /// Per-virtual-channel credit return for wormhole switching: grants
+    /// `credits` flit slots back to the upstream switch for lane `vc`.
+    /// Uncredited link control, like [`FlitPayload::CreditUpdate`], but
+    /// scoped to one virtual channel of the switch-to-switch link rather
+    /// than a message class of the link layer.
+    VcCredit {
+        /// Virtual channel (lane) being replenished.
+        vc: u8,
+        /// Number of flit credits granted.
+        credits: u32,
+    },
     /// Idle/keepalive flit.
     Idle,
 }
@@ -195,6 +206,10 @@ impl Flit {
                 put(&from_seq.to_le_bytes());
             }
             FlitPayload::Idle => put(&[5]),
+            FlitPayload::VcCredit { vc, credits } => {
+                put(&[6, *vc]);
+                put(&credits.to_le_bytes());
+            }
         }
         n
     }
@@ -343,6 +358,9 @@ mod tests {
             FlitPayload::Ack { seq: 10 },
             FlitPayload::Nak { from_seq: 10 },
             FlitPayload::Idle,
+            FlitPayload::VcCredit { vc: 0, credits: 1 },
+            FlitPayload::VcCredit { vc: 1, credits: 1 },
+            FlitPayload::VcCredit { vc: 0, credits: 2 },
         ];
         let mut crcs: Vec<u32> = variants
             .into_iter()
@@ -363,6 +381,7 @@ mod tests {
             credits: 4
         }
         .is_control());
+        assert!(FlitPayload::VcCredit { vc: 1, credits: 1 }.is_control());
         assert!(!FlitPayload::Transaction(sample_txn()).is_control());
     }
 

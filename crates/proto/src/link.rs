@@ -312,7 +312,7 @@ impl LinkLayer {
                 self.process_ack(*seq);
                 return RxAction::Control;
             }
-            FlitPayload::Nak { .. } | FlitPayload::Idle => {
+            FlitPayload::Nak { .. } | FlitPayload::Idle | FlitPayload::VcCredit { .. } => {
                 // NAK retransmission is driven by the caller via
                 // [`LinkLayer::on_nak`] because it needs the flits back.
                 return RxAction::Control;

@@ -15,6 +15,12 @@
 //!   and proves no flit is dropped at a missing route or delivered to a
 //!   detached port, printing a minimal counterexample when a plan is
 //!   unsafe.
+//! - [`routing`] — a routing model checker for the wormhole switch core:
+//!   it proves the escape-VC channel dependency graph of every small-K
+//!   pod plan ([`fcc_fabric::pods`]) acyclic — the load-bearing premise
+//!   of the switch's Duato-style deadlock-freedom argument — and
+//!   explores the real per-VC credit ledger through every bounded
+//!   dispatch/return interleaving, asserting exact conservation.
 //! - [`sched`] — an exhaustive isolation checker for the fabric QoS
 //!   scheduler ([`fcc_sched`]): it drives the real credit-partition
 //!   ledger through every small-K per-window demand schedule and proves
@@ -22,7 +28,8 @@
 //!   per-tenant ledgers stay conservation-clean, and the partition is
 //!   work-conserving.
 //!
-//! The `check-coherence`, `check-reconfig` and `check-sched` binaries
+//! The `check-coherence`, `check-reconfig`, `check-sched` and
+//! `check-routing` binaries
 //! run the standard configurations and exit non-zero (printing a full
 //! counterexample trace) on any violation; `scripts/check.sh` wires
 //! them into the repo's verification gate.
@@ -32,4 +39,5 @@
 
 pub mod coherence;
 pub mod reconfig;
+pub mod routing;
 pub mod sched;

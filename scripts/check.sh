@@ -31,9 +31,15 @@ cargo run --release -p fcc-verify --bin check-reconfig
 echo "==> scheduler isolation model check (credit partitions vs every demand schedule)"
 cargo run --release -p fcc-verify --bin check-sched
 
-echo "==> traced experiment smoke (telemetry export end to end)"
 artifacts="${TELEMETRY_ARTIFACT_DIR:-target/telemetry-smoke}"
 mkdir -p "$artifacts"
+
+echo "==> routing model check (escape-VC CDG acyclic, credit ledgers conserve)"
+cargo run --release -p fcc-verify --bin check-routing -- \
+    --report "$artifacts/routing-report.json"
+grep -q '"status":"ok"' "$artifacts/routing-report.json"
+
+echo "==> traced experiment smoke (telemetry export end to end)"
 cargo run --release -p fcc-bench --bin experiments -- --quick e3a \
     --json "$artifacts/results.json" \
     --trace "$artifacts/trace.json" \
@@ -63,5 +69,12 @@ cargo run --release -p fcc-bench --bin experiments -- --quick e13 \
 grep -q '"lost_objects": 0' "$artifacts/e13-results.json"
 grep -q '"ledger_violations": 0' "$artifacts/e13-results.json"
 grep -q '"slo_bounded": 1' "$artifacts/e13-results.json"
+
+echo "==> wormhole pod smoke (E14: spine-leaf pod drains deadlock-free, credits conserved)"
+cargo run --release -p fcc-bench --bin experiments -- --quick e14 \
+    --json "$artifacts/e14-results.json"
+grep -q '"deadlock_events": 0' "$artifacts/e14-results.json"
+grep -q '"credit_violations": 0' "$artifacts/e14-results.json"
+grep -q '"quiesced_clean": 1' "$artifacts/e14-results.json"
 
 echo "all checks passed"
